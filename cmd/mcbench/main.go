@@ -1,0 +1,163 @@
+// Command mcbench regenerates the paper's evaluation figures (Figs 3–6)
+// on the simulated clusters and prints each panel as a table or CSV.
+//
+// Usage:
+//
+//	mcbench [-figure fig3a] [-csv] [-ops N] [-list] [-speedups]
+//
+// With no -figure, every panel is produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+// runAblations prints the design-choice studies from DESIGN.md.
+func runAblations(cfg bench.RunConfig) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	eager, err := bench.AblationEagerThreshold(16*1024, []int{1024, 4096, 8192, 16384, 65536}, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(bench.AblationResultString("eager threshold sweep: 16KB gets, cluster B (mean latency)", eager, "us"))
+
+	workers, err := bench.AblationWorkerCount([]int{1, 2, 4, 8}, 16, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(bench.AblationResultString("worker threads: 16 clients, 4B gets, cluster B (aggregate)", workers, "KTPS"))
+
+	poll, ev, err := bench.AblationPollingVsEvents(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# CQ polling vs events (64B gets, cluster B)\npolling  %.2f us\nevents   %.2f us\n", poll, ev)
+
+	rc, ud, err := bench.AblationRCvsUD(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# RC vs UD endpoints (64B gets, cluster B)\nRC       %.2f us\nUD       %.2f us\n", rc, ud)
+
+	nullUs, complUs, _, acks, err := bench.AblationCounterAcks(cfg.OpsPerPoint)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# counter acks (UCR eager echo)\nNULL counters        %.2f us, 0 acks\ncompletion counter   %.2f us, %d acks\n", nullUs, complUs, acks)
+
+	p := clusterProfile("B")
+	mg, err := bench.MGetSweep(p, p.Transports, 16, 64, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("# mget batching: 16 keys x 64B, cluster B")
+	for _, r := range mg {
+		fmt.Printf("%-8s 16 singles %8.2f us   one mget %8.2f us   (%.1fx)\n", r.Transport, r.SinglesUs, r.BatchedUs, r.Improvement)
+	}
+
+	scale, err := bench.ClientScaling(p, "UCR-IB", []int{4, 8, 16, 32}, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(bench.AblationResultString("client scaling: UCR-IB 4B gets, cluster B (aggregate)", scale, "KTPS"))
+
+	perEP, srq, err := bench.SRQFootprint(p, 32, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# receive-buffer footprint at 32 clients (server total, cluster B)\nper-endpoint windows  %8d KB\nshared receive queue  %8d KB\n",
+		perEP/1024, srq/1024)
+
+	fmt.Println("# latency jitter: 64B gets, 500 samples, cluster B (us)")
+	for _, tr := range p.Transports {
+		rec, err := bench.JitterPoint(p, tr, 64, 500, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-8s min %7.2f  mean %7.2f  p99 %7.2f  max %7.2f  spread %7.2f\n",
+			tr, rec.Min(), rec.Mean(), rec.Percentile(99), rec.Max(), rec.Jitter())
+	}
+}
+
+func main() {
+	var (
+		figID     = flag.String("figure", "", "panel id to run (e.g. fig3a); empty = all")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		ops       = flag.Int("ops", 50, "measured operations per point")
+		list      = flag.Bool("list", false, "list available panels and exit")
+		speedups  = flag.Bool("speedups", false, "append UCR-vs-baseline speedup factors")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
+	)
+	flag.Parse()
+
+	if *ablations {
+		runAblations(bench.RunConfig{OpsPerPoint: *ops})
+		return
+	}
+
+	if *list {
+		for _, spec := range bench.Figures {
+			fmt.Printf("%-7s cluster %s  %s\n", spec.ID, spec.Cluster, spec.Title)
+		}
+		return
+	}
+
+	cfg := bench.RunConfig{OpsPerPoint: *ops}
+	specs := bench.Figures
+	if *figID != "" {
+		spec, ok := bench.FigureByID(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcbench: unknown figure %q (try -list)\n", *figID)
+			os.Exit(1)
+		}
+		specs = []bench.FigureSpec{spec}
+	}
+
+	for _, spec := range specs {
+		fig, err := spec.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+		var werr error
+		if *csv {
+			werr = bench.WriteCSV(os.Stdout, fig)
+		} else {
+			werr = bench.WriteTable(os.Stdout, fig)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: write: %v\n", werr)
+			os.Exit(1)
+		}
+		if *speedups {
+			for _, base := range fig.SeriesOrder {
+				if base == "UCR-IB" {
+					continue
+				}
+				factors := fig.SpeedupOver("UCR-IB", base)
+				fmt.Printf("speedup UCR-IB vs %s:", base)
+				for _, f := range factors {
+					if fig.Unit == "KTPS" && f > 0 {
+						// Throughput: higher is better, so invert.
+						f = 1 / f
+					}
+					fmt.Printf(" %.1fx", f)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// clusterProfile resolves a profile by name for the ablations.
+func clusterProfile(name string) *cluster.Profile { return cluster.ProfileByName(name) }

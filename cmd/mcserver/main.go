@@ -1,0 +1,80 @@
+// Command mcserver runs the Memcached engine from this repository over
+// the real operating-system network stack: the same slab allocator,
+// hash table, LRU, expiry and text protocol that the simulated
+// benchmarks exercise, served on a TCP port. It is wire-compatible with
+// standard memcached clients for the implemented command set (get,
+// gets, set, add, replace, append, prepend, cas, delete, incr, decr,
+// touch, stats, flush_all, version, verbosity, quit).
+//
+// Usage:
+//
+//	mcserver [-addr :11211] [-m 64] [-M] [-v]
+//
+// Virtual time for expiry maps to wall-clock seconds since start.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":11211", "listen address")
+		memMB     = flag.Int64("m", 64, "memory limit in megabytes")
+		noEvict   = flag.Bool("M", false, "return errors instead of evicting")
+		verbose   = flag.Bool("v", false, "log connections")
+		maxItemKB = flag.Int("I", 1024, "maximum item size in kilobytes")
+	)
+	flag.Parse()
+
+	store := memcached.NewStore(memcached.StoreConfig{
+		MemoryLimit:      *memMB << 20,
+		MaxItemSize:      *maxItemKB << 10,
+		DisableEvictions: *noEvict,
+	})
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mcserver: %v", err)
+	}
+	log.Printf("mcserver: engine %s listening on %s (%d MB)", memcached.Version, lis.Addr(), *memMB)
+
+	start := time.Now()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			log.Fatalf("mcserver: accept: %v", err)
+		}
+		if *verbose {
+			log.Printf("mcserver: connection from %s", conn.RemoteAddr())
+		}
+		go serve(conn, store, start, *verbose)
+	}
+}
+
+// serve drives one connection. The wall clock stands in for virtual
+// time so relative expiry behaves like stock memcached.
+func serve(conn net.Conn, store *memcached.Store, start time.Time, verbose bool) {
+	defer conn.Close()
+	pc := memcached.NewProtoConn(conn, store)
+	clk := simnet.NewVClock(0)
+	for {
+		clk.Set(simnet.Time(time.Since(start)))
+		quit, err := pc.ServeOne(clk)
+		if err != nil {
+			if verbose {
+				log.Printf("mcserver: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}

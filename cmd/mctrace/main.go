@@ -1,0 +1,84 @@
+// Command mctrace generates and replays memcached traces against the
+// simulated clusters. The paper's production workloads (Facebook's
+// memcached traffic, §I/§III) are not public; mctrace produces
+// synthetic traces with the published shape — Zipfian popularity,
+// read-mostly mixes — and replays any trace in its simple text format.
+//
+// Generate:
+//
+//	mctrace -generate -ops 20000 -keys 2048 -zipf 0.99 -gets 0.9 > t.trace
+//
+// Replay:
+//
+//	mctrace -replay t.trace -cluster B -transport UCR-IB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		generate = flag.Bool("generate", false, "emit a synthetic trace on stdout")
+		replay   = flag.String("replay", "", "trace file to replay")
+		ops      = flag.Int("ops", 20000, "generate: operation count")
+		keys     = flag.Int("keys", 2048, "generate: keyspace size")
+		zipfS    = flag.Float64("zipf", 0.99, "generate: popularity exponent (0 = uniform)")
+		gets     = flag.Float64("gets", 0.9, "generate: fraction of gets")
+		size     = flag.Int("size", 128, "generate: set value size")
+		seed     = flag.Uint64("seed", 42, "generate: PRNG seed")
+
+		clusterName = flag.String("cluster", "B", "replay: cluster profile A or B")
+		transport   = flag.String("transport", "UCR-IB", "replay: transport")
+		memMB       = flag.Int64("m", 64, "replay: server cache megabytes")
+	)
+	flag.Parse()
+
+	switch {
+	case *generate:
+		err := bench.GenerateTrace(os.Stdout, bench.TraceSpec{
+			Ops: *ops, Keys: *keys, ZipfS: *zipfS,
+			GetFraction: *gets, ValueSize: *size, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("mctrace: %v", err)
+		}
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatalf("mctrace: %v", err)
+		}
+		defer f.Close()
+		trace, err := bench.ParseTrace(f)
+		if err != nil {
+			log.Fatalf("mctrace: %v", err)
+		}
+		p := cluster.ProfileByName(*clusterName)
+		res, err := bench.ReplayTrace(p, cluster.Transport(*transport), trace,
+			cluster.Options{MemoryLimit: *memMB << 20})
+		if err != nil {
+			log.Fatalf("mctrace: %v", err)
+		}
+		fmt.Printf("mctrace: %d ops over %s on cluster %s (%d MB cache)\n",
+			res.Ops, *transport, p.Name, *memMB)
+		fmt.Printf("  mix        %d gets / %d sets / %d deletes\n", res.Gets, res.Sets, res.Dels)
+		hitRate := 0.0
+		if res.Gets > 0 {
+			hitRate = float64(res.Hits) / float64(res.Gets) * 100
+		}
+		fmt.Printf("  cache      %d hits, %d misses (%.1f%% hit rate)\n", res.Hits, res.Misses, hitRate)
+		fmt.Printf("  latency    mean %.2f us, p99 %.2f us\n", res.MeanUs, res.P99Us)
+		fmt.Printf("  throughput %.0f TPS (virtual makespan %v)\n", res.TPS, res.Makespan)
+		fmt.Printf("  server     %d items, %d bytes, %d evictions\n",
+			res.ServerCurrItems, res.ServerBytesStored, res.ServerEvictions)
+	default:
+		fmt.Fprintln(os.Stderr, "mctrace: need -generate or -replay <file> (see -h)")
+		os.Exit(1)
+	}
+}

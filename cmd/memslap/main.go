@@ -1,0 +1,198 @@
+// Command memslap is the load-generation tool of this repository —
+// the role memslap plays in the memcached distribution, except that
+// (like the paper's §VI benchmark suite, and unlike stock memslap,
+// which bypasses libmemcached and writes raw sockets) it drives the
+// standard client API.
+//
+// Usage:
+//
+//	memslap [-cluster B] [-transport UCR-IB] [-concurrency 8]
+//	        [-ops 200] [-size 4096] [-mix get] [-servers 1] [-ketama]
+//	        [-zipf 0.99]
+//
+// Mixes: set, get, set10-get90 (the paper's non-interleaved workload),
+// set50-get50 (interleaved). Reports aggregate TPS and the latency
+// distribution in virtual time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "B", "cluster profile: A or B")
+		transport   = flag.String("transport", "UCR-IB", "UCR-IB | IPoIB | SDP | 10GigE-TOE | 1GigE")
+		concurrency = flag.Int("concurrency", 8, "number of client nodes")
+		ops         = flag.Int("ops", 200, "operations per client")
+		size        = flag.Int("size", 4096, "value size in bytes")
+		mixName     = flag.String("mix", "get", "set | get | set10-get90 | set50-get50")
+		servers     = flag.Int("servers", 1, "number of memcached servers")
+		ketama      = flag.Bool("ketama", false, "use consistent hashing")
+		workers     = flag.Int("workers", 4, "server worker threads")
+		keys        = flag.Int("keys", 64, "distinct keys in the workload")
+		zipf        = flag.Float64("zipf", 0, "Zipf exponent for key popularity (0 = uniform round-robin; 0.99 = classic web skew)")
+	)
+	flag.Parse()
+
+	mix, ok := parseMix(*mixName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "memslap: unknown mix %q\n", *mixName)
+		os.Exit(1)
+	}
+	p := cluster.ProfileByName(*clusterName)
+	if !p.HasTransport(cluster.Transport(*transport)) {
+		fmt.Fprintf(os.Stderr, "memslap: cluster %s has no transport %q\n", p.Name, *transport)
+		os.Exit(1)
+	}
+
+	d := cluster.New(p, cluster.Options{Servers: *servers, ServerWorkers: *workers})
+	defer d.Close()
+	behaviors := mcclient.DefaultBehaviors()
+	if *ketama {
+		behaviors.Distribution = mcclient.DistKetama
+	}
+
+	clients := make([]*cluster.Client, *concurrency)
+	for i := range clients {
+		c, err := d.NewClient(cluster.Transport(*transport), behaviors)
+		if err != nil {
+			log.Fatalf("memslap: %v", err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	// Populate once so gets hit.
+	w0 := bench.NewWorkload(42, *keys, *size)
+	for _, k := range w0.Keys() {
+		if err := clients[0].MC.Set(k, w0.Value(), 0, 0); err != nil {
+			log.Fatalf("memslap: populate: %v", err)
+		}
+	}
+	var start simnet.Time
+	for _, c := range clients {
+		if c.Clock.Now() > start {
+			start = c.Clock.Now()
+		}
+	}
+	for _, c := range clients {
+		c.Clock.AdvanceTo(start)
+	}
+
+	type result struct {
+		samples []simnet.Duration
+		end     simnet.Time
+		err     error
+	}
+	results := make([]result, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *cluster.Client) {
+			defer wg.Done()
+			var nextKey func() string
+			w := bench.NewWorkload(42, *keys, *size)
+			if *zipf > 0 {
+				zw := bench.NewZipfWorkload(42, uint64(i)+1, *keys, *size, *zipf)
+				nextKey = zw.Key
+			} else {
+				nextKey = w.Key
+			}
+			cycle := mixCycle(mix)
+			samples := make([]simnet.Duration, 0, *ops)
+			for n := 0; n < *ops; n++ {
+				key := nextKey()
+				opStart := c.Clock.Now()
+				var err error
+				if cycle[n%len(cycle)] {
+					err = c.MC.Set(key, w.Value(), 0, 0)
+				} else {
+					_, _, _, err = c.MC.Get(key)
+				}
+				if err != nil {
+					results[i] = result{err: err}
+					return
+				}
+				samples = append(samples, c.Clock.Now()-opStart)
+			}
+			results[i] = result{samples: samples, end: c.Clock.Now()}
+		}(i, c)
+	}
+	wg.Wait()
+
+	var all []simnet.Duration
+	var makespan simnet.Duration
+	for _, r := range results {
+		if r.err != nil {
+			log.Fatalf("memslap: %v", r.err)
+		}
+		all = append(all, r.samples...)
+		if d := r.end - start; d > makespan {
+			makespan = d
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) simnet.Duration {
+		idx := int(p / 100 * float64(len(all)))
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		return all[idx]
+	}
+	var sum simnet.Duration
+	for _, s := range all {
+		sum += s
+	}
+	totalOps := len(all)
+	fmt.Printf("memslap: cluster %s, %s, %d clients x %d ops, %d B values, mix %s, %d server(s), zipf=%.2f\n",
+		p.Name, *transport, *concurrency, *ops, *size, mix, *servers, *zipf)
+	fmt.Printf("  throughput  %12.0f TPS aggregate (virtual makespan %v)\n",
+		float64(totalOps)/makespan.Seconds(), makespan)
+	fmt.Printf("  latency     mean %8.2f us   min %8.2f us\n",
+		(sum / simnet.Duration(totalOps)).Micros(), all[0].Micros())
+	fmt.Printf("              p50  %8.2f us   p95 %8.2f us\n", pct(50).Micros(), pct(95).Micros())
+	fmt.Printf("              p99  %8.2f us   max %8.2f us\n", pct(99).Micros(), all[len(all)-1].Micros())
+}
+
+func parseMix(name string) (bench.Mix, bool) {
+	switch name {
+	case "set":
+		return bench.MixSet, true
+	case "get":
+		return bench.MixGet, true
+	case "set10-get90":
+		return bench.MixNonInterleaved, true
+	case "set50-get50":
+		return bench.MixInterleaved, true
+	default:
+		return 0, false
+	}
+}
+
+func mixCycle(m bench.Mix) []bool {
+	switch m {
+	case bench.MixSet:
+		return []bool{true}
+	case bench.MixGet:
+		return []bool{false}
+	case bench.MixNonInterleaved:
+		cycle := make([]bool, 100)
+		for i := 0; i < 10; i++ {
+			cycle[i] = true
+		}
+		return cycle
+	default:
+		return []bool{true, false}
+	}
+}

@@ -1,0 +1,95 @@
+// multiclient reproduces the flavour of the paper's Fig 6 experiment as
+// a runnable program: sixteen closed-loop clients on separate simulated
+// nodes hammer one Memcached server with 4-byte Gets, first over UCR,
+// then over SDP, and the aggregate transactions-per-second are compared
+// (§VI-D: "many clients access the same Memcached server
+// simultaneously").
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+const (
+	clients      = 16
+	opsPerClient = 300
+)
+
+func main() {
+	fmt.Printf("%d clients x %d four-byte Gets against one server (cluster B)\n\n", clients, opsPerClient)
+	ucr := run("UCR-IB")
+	sdp := run("SDP")
+	fmt.Printf("\nUCR-IB delivers %.1fx the aggregate throughput of SDP (paper: ~6x on QDR)\n", ucr/sdp)
+}
+
+func run(transport string) (tps float64) {
+	sys, err := core.NewSystem(core.Config{Cluster: "B"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// One client populates; all clients read the shared keyspace.
+	pool := make([]*clientHandle, clients)
+	for i := range pool {
+		c, err := sys.AddClient(transport)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool[i] = &clientHandle{c: c}
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		if err := pool[0].c.MC.Set(keys[i], []byte("abcd"), 0, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Align every clock, then run all clients concurrently.
+	var start simnet.Time
+	for _, h := range pool {
+		if h.c.Clock.Now() > start {
+			start = h.c.Clock.Now()
+		}
+	}
+	var wg sync.WaitGroup
+	for i, h := range pool {
+		h.c.Clock.AdvanceTo(start)
+		wg.Add(1)
+		go func(i int, h *clientHandle) {
+			defer wg.Done()
+			for n := 0; n < opsPerClient; n++ {
+				if _, _, _, err := h.c.MC.Get(keys[(i+n)%len(keys)]); err != nil {
+					log.Fatal(err)
+				}
+			}
+			h.end = h.c.Clock.Now()
+		}(i, h)
+	}
+	wg.Wait()
+
+	var makespan simnet.Duration
+	for _, h := range pool {
+		if d := h.end - start; d > makespan {
+			makespan = d
+		}
+	}
+	tps = float64(clients*opsPerClient) / makespan.Seconds()
+	fmt.Printf("%-8s %10.0f TPS aggregate (makespan %v)\n", transport, tps, makespan)
+
+	stats := sys.ServerStats()
+	fmt.Printf("         server saw %d gets, %d hits\n", stats["cmd_get"], stats["get_hits"])
+	return tps
+}
+
+type clientHandle struct {
+	c   *cluster.Client
+	end simnet.Time
+}

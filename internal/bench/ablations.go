@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+	"repro/internal/simnet"
+	"repro/internal/ucr"
+	"repro/internal/verbs"
+)
+
+// This file measures the design choices DESIGN.md calls out, beyond the
+// paper's figures: the 8 KB eager threshold (§V), worker-thread count
+// (§V-A), CQ polling vs events (§II-A1), counter-ack suppression
+// (§IV-C), and RC vs UD endpoints (§VII).
+
+// AblationEagerThreshold measures mean get latency for one value size
+// under different eager cut-overs. Below the threshold a reply is one
+// packed transaction; above it the client RDMA-reads the value.
+func AblationEagerThreshold(valueSize int, thresholds []int, cfg RunConfig) (map[int]float64, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[int]float64, len(thresholds))
+	for _, th := range thresholds {
+		deploy := cfg.Deploy
+		deploy.EagerThreshold = th
+		rec, err := LatencyPoint(cluster.ClusterB(), cluster.UCRIB, MixGet, valueSize,
+			RunConfig{OpsPerPoint: cfg.OpsPerPoint, KeySpace: cfg.KeySpace, Seed: cfg.Seed, Deploy: deploy})
+		if err != nil {
+			return nil, err
+		}
+		out[th] = rec.Mean()
+	}
+	return out, nil
+}
+
+// AblationWorkerCount measures aggregate 4-byte get TPS with nClients
+// for each worker-thread count (the §V-A round-robin pool's width).
+func AblationWorkerCount(workerCounts []int, nClients int, cfg RunConfig) (map[int]float64, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[int]float64, len(workerCounts))
+	for _, wc := range workerCounts {
+		deploy := cfg.Deploy
+		deploy.ServerWorkers = wc
+		tps, err := TPSPoint(cluster.ClusterB(), cluster.UCRIB, nClients, 4,
+			RunConfig{OpsPerPoint: cfg.OpsPerPoint, KeySpace: cfg.KeySpace, Seed: cfg.Seed, Deploy: deploy})
+		if err != nil {
+			return nil, err
+		}
+		out[wc] = tps / 1e3
+	}
+	return out, nil
+}
+
+// AblationPollingVsEvents measures small-get latency with the server's
+// UCR completion detection in polling vs interrupt mode.
+func AblationPollingVsEvents(cfg RunConfig) (pollingUs, eventsUs float64, err error) {
+	cfg = cfg.withDefaults()
+	run := func(events bool) (float64, error) {
+		deploy := cfg.Deploy
+		deploy.UCREvents = events
+		rec, err := LatencyPoint(cluster.ClusterB(), cluster.UCRIB, MixGet, 64,
+			RunConfig{OpsPerPoint: cfg.OpsPerPoint, KeySpace: cfg.KeySpace, Seed: cfg.Seed, Deploy: deploy})
+		if err != nil {
+			return 0, err
+		}
+		return rec.Mean(), nil
+	}
+	if pollingUs, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	if eventsUs, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	return pollingUs, eventsUs, nil
+}
+
+// AblationRCvsUD measures small-get latency over reliable (RC) vs
+// unreliable (UD) UCR endpoints.
+func AblationRCvsUD(cfg RunConfig) (rcUs, udUs float64, err error) {
+	cfg = cfg.withDefaults()
+	run := func(ud bool) (float64, error) {
+		d := cluster.New(cluster.ClusterB(), cfg.Deploy)
+		defer d.Close()
+		var c *cluster.Client
+		var cerr error
+		if ud {
+			c, cerr = d.NewClientUD(mcclient.DefaultBehaviors())
+		} else {
+			c, cerr = d.NewClient(cluster.UCRIB, mcclient.DefaultBehaviors())
+		}
+		if cerr != nil {
+			return 0, cerr
+		}
+		defer c.Close()
+		w := NewWorkload(cfg.Seed, cfg.KeySpace, 64)
+		rec := &LatencyRecorder{}
+		if err := runClient(c, w, MixGet, cfg.OpsPerPoint, rec); err != nil {
+			return 0, err
+		}
+		return rec.Mean(), nil
+	}
+	if rcUs, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	if udUs, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	return rcUs, udUs, nil
+}
+
+// AblationCounterAcks measures, at the UCR level, the round-trip cost
+// of an eager echo exchange with NULL counters (no internal messages,
+// §IV-C) versus with a completion counter (which requires the optional
+// ack). It returns mean microseconds for both modes and the ack counts
+// observed on the origin.
+func AblationCounterAcks(ops int) (nullUs, complUs float64, acksNull, acksCompl uint64, err error) {
+	if ops <= 0 {
+		ops = 50
+	}
+	const (
+		midReq   = 1
+		midReply = 2
+	)
+	p := cluster.ClusterB()
+	nw := simnet.NewNetwork()
+	cliNode := nw.AddNode("client")
+	srvNode := nw.AddNode("server")
+	fab := nw.AddFabric(p.IB)
+	cm := verbs.NewCM(fab)
+	cliRT := ucr.New(verbs.NewHCA(cliNode, fab, p.HCA), cm, p.UCR)
+	srvRT := ucr.New(verbs.NewHCA(srvNode, fab, p.HCA), cm, p.UCR)
+
+	// Server: echo the 8-byte header's counter id back via midReply.
+	srvCtx := srvRT.NewContext()
+	srvClk := simnet.NewVClock(0)
+	srvRT.RegisterHandler(midReq, ucr.Handler{
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+			return make([]byte, dataLen)
+		},
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+			replyCtr := ucr.CounterID(binary.LittleEndian.Uint64(hdr))
+			_ = ep.Send(clk, midReply, nil, data, nil, replyCtr, nil)
+		},
+	})
+	cliRT.RegisterHandler(midReply, ucr.Handler{
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+			return make([]byte, dataLen)
+		},
+	})
+
+	lis, lerr := srvRT.Listen("ablate")
+	if lerr != nil {
+		return 0, 0, 0, 0, lerr
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			req, ok := lis.Next(simnet.NewVClock(0), 50*time.Millisecond)
+			if !ok {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			// Single-threaded toy server: accept then progress inline.
+			if _, err := srvCtx.Accept(req, srvClk); err != nil {
+				req.Reject(err)
+			}
+			for srvCtx.Progress(srvClk) {
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		lis.Close()
+		srvCtx.Destroy()
+	}()
+
+	cliCtx := cliRT.NewContext()
+	cliClk := simnet.NewVClock(0)
+	ep, derr := cliRT.Dial(cliCtx, srvNode, "ablate", ucr.Reliable, cliClk, 5*time.Second)
+	if derr != nil {
+		return 0, 0, 0, 0, derr
+	}
+	defer ep.Close()
+
+	payload := make([]byte, 64)
+	hdr := make([]byte, 8)
+	replyCtr := cliRT.NewCounter()
+
+	measure := func(withCompl bool) (float64, error) {
+		rec := &LatencyRecorder{}
+		for i := 0; i < ops; i++ {
+			binary.LittleEndian.PutUint64(hdr, uint64(replyCtr.ID()))
+			var compl *ucr.Counter
+			if withCompl {
+				compl = cliRT.NewCounter()
+			}
+			start := cliClk.Now()
+			if err := ep.Send(cliClk, midReq, hdr, payload, nil, 0, compl); err != nil {
+				return 0, err
+			}
+			if err := cliCtx.WaitCounter(cliClk, replyCtr, replyCtr.Value()+1, 0); err != nil {
+				return 0, err
+			}
+			if withCompl {
+				if err := cliCtx.WaitCounter(cliClk, compl, 1, 0); err != nil {
+					return 0, err
+				}
+				cliRT.FreeCounter(compl)
+			}
+			rec.Record(cliClk.Now() - start)
+		}
+		return rec.Mean(), nil
+	}
+
+	if nullUs, err = measure(false); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	_, _, acksNull, _, _ = cliCtx.Stats()
+	if complUs, err = measure(true); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	_, _, acksCompl, _, _ = cliCtx.Stats()
+	return nullUs, complUs, acksNull, acksCompl - acksNull, nil
+}
+
+// AblationResultString renders a simple id→value table.
+func AblationResultString(title string, rows map[int]float64, unit string) string {
+	out := "# " + title + "\n"
+	keys := make([]int, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		out += fmt.Sprintf("%-8d %.2f %s\n", k, rows[k], unit)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+	"repro/internal/simnet"
+)
+
+// RunConfig tunes a measurement run.
+type RunConfig struct {
+	// OpsPerPoint is the measured operation count per (size, transport).
+	OpsPerPoint int
+	// KeySpace is the number of distinct keys.
+	KeySpace int
+	// Seed feeds workload generation.
+	Seed uint64
+	// Deploy overrides deployment options (worker count etc.).
+	Deploy cluster.Options
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.OpsPerPoint <= 0 {
+		c.OpsPerPoint = 50
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// LatencyPoint measures the mean latency of one (transport, size, mix)
+// combination on a fresh single-client deployment — the paper's
+// single-client experiment (§VI-B).
+func LatencyPoint(p *cluster.Profile, t cluster.Transport, mix Mix, size int, cfg RunConfig) (*LatencyRecorder, error) {
+	cfg = cfg.withDefaults()
+	d := cluster.New(p, cfg.Deploy)
+	defer d.Close()
+	c, err := d.NewClient(t, mcclient.DefaultBehaviors())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	w := NewWorkload(cfg.Seed, cfg.KeySpace, size)
+	rec := &LatencyRecorder{}
+	if err := runClient(c, w, mix, cfg.OpsPerPoint, rec); err != nil {
+		return nil, fmt.Errorf("bench: %s/%s size %d: %w", t, mix, size, err)
+	}
+	return rec, nil
+}
+
+// LatencySweep runs LatencyPoint over sizes for every transport,
+// returning mean microseconds, indexed series[transport][sizeIdx].
+func LatencySweep(p *cluster.Profile, transports []cluster.Transport, mix Mix, sizes []int, cfg RunConfig) (map[cluster.Transport][]float64, error) {
+	out := make(map[cluster.Transport][]float64, len(transports))
+	for _, t := range transports {
+		vals := make([]float64, 0, len(sizes))
+		for _, size := range sizes {
+			rec, err := LatencyPoint(p, t, mix, size, cfg)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, rec.Mean())
+		}
+		out[t] = vals
+	}
+	return out, nil
+}
+
+// JitterPoint runs many single-client gets on one transport and
+// returns the latency distribution — the experiment behind the paper's
+// §VI-B jitter investigation (they pushed samples to 10,000 trying to
+// smooth SDP on QDR and could not).
+func JitterPoint(p *cluster.Profile, t cluster.Transport, size, samples int, cfg RunConfig) (*LatencyRecorder, error) {
+	cfg = cfg.withDefaults()
+	cfg.OpsPerPoint = samples
+	return LatencyPoint(p, t, MixGet, size, cfg)
+}
+
+// TPSPoint measures aggregate transactions per second with nClients
+// closed-loop clients on distinct nodes doing 100% Gets of the given
+// value size — the paper's multi-client experiment (§VI-D).
+func TPSPoint(p *cluster.Profile, t cluster.Transport, nClients, size int, cfg RunConfig) (tps float64, err error) {
+	cfg = cfg.withDefaults()
+	d := cluster.New(p, cfg.Deploy)
+	defer d.Close()
+
+	clients := make([]*cluster.Client, nClients)
+	for i := range clients {
+		c, cerr := d.NewClient(t, mcclient.DefaultBehaviors())
+		if cerr != nil {
+			return 0, cerr
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	// One client populates the shared keyspace.
+	w0 := NewWorkload(cfg.Seed, cfg.KeySpace, size)
+	for _, k := range w0.Keys() {
+		if err := clients[0].MC.Set(k, w0.Value(), 0, 0); err != nil {
+			return 0, err
+		}
+	}
+	// Align clocks at a common virtual start.
+	var start simnet.Time
+	for _, c := range clients {
+		if c.Clock.Now() > start {
+			start = c.Clock.Now()
+		}
+	}
+	for _, c := range clients {
+		c.Clock.AdvanceTo(start)
+	}
+
+	type result struct {
+		end simnet.Time
+		err error
+	}
+	results := make(chan result, nClients)
+	opsPerClient := cfg.OpsPerPoint
+	for i, c := range clients {
+		go func(i int, c *cluster.Client) {
+			// Same keyspace as the populator, staggered start offsets.
+			w := NewWorkload(cfg.Seed, cfg.KeySpace, size)
+			w.nextKey = i
+			for n := 0; n < opsPerClient; n++ {
+				if _, _, _, err := c.MC.Get(w.Key()); err != nil {
+					results <- result{err: err}
+					return
+				}
+			}
+			results <- result{end: c.Clock.Now()}
+		}(i, c)
+	}
+	var makespan simnet.Duration
+	for range clients {
+		r := <-results
+		if r.err != nil {
+			return 0, r.err
+		}
+		if d := r.end - start; d > makespan {
+			makespan = d
+		}
+	}
+	totalOps := float64(nClients * opsPerClient)
+	return totalOps / makespan.Seconds(), nil
+}
+
+// TPSSweep runs TPSPoint across client counts for every transport,
+// returning thousands-of-TPS series, indexed series[transport][countIdx]
+// (the unit the paper's Fig 6 y-axis uses).
+func TPSSweep(p *cluster.Profile, transports []cluster.Transport, clientCounts []int, size int, cfg RunConfig) (map[cluster.Transport][]float64, error) {
+	out := make(map[cluster.Transport][]float64, len(transports))
+	for _, t := range transports {
+		vals := make([]float64, 0, len(clientCounts))
+		for _, n := range clientCounts {
+			tps, err := TPSPoint(p, t, n, size, cfg)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, tps/1e3)
+		}
+		out[t] = vals
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+	"repro/internal/simnet"
+)
+
+// Trace support: production memcached traces (the Facebook workloads
+// the paper describes) are not publicly available, so this package can
+// *generate* synthetic traces with the published shape — Zipfian key
+// popularity, read-mostly mixes, small values — and *replay* any trace
+// in the same simple text format against a simulated deployment.
+//
+// Format, one operation per line (comments start with '#'):
+//
+//	get <key>
+//	set <key> <valueSize>
+//	delete <key>
+
+// TraceOp is one replayable operation.
+type TraceOp struct {
+	// Op is "get", "set" or "delete".
+	Op string
+	// Key is the item key.
+	Key string
+	// Size is the value size for sets.
+	Size int
+}
+
+// TraceSpec parameterizes synthetic trace generation.
+type TraceSpec struct {
+	// Ops is the number of operations.
+	Ops int
+	// Keys is the keyspace size.
+	Keys int
+	// ZipfS is the popularity exponent (0: uniform).
+	ZipfS float64
+	// GetFraction is the share of gets (rest split 90/10 set/delete).
+	GetFraction float64
+	// ValueSize is the set payload size.
+	ValueSize int
+	// Seed drives generation.
+	Seed uint64
+}
+
+func (ts TraceSpec) withDefaults() TraceSpec {
+	if ts.Ops <= 0 {
+		ts.Ops = 10000
+	}
+	if ts.Keys <= 0 {
+		ts.Keys = 1024
+	}
+	if ts.GetFraction <= 0 || ts.GetFraction > 1 {
+		ts.GetFraction = 0.9
+	}
+	if ts.ValueSize <= 0 {
+		ts.ValueSize = 128
+	}
+	if ts.Seed == 0 {
+		ts.Seed = 42
+	}
+	return ts
+}
+
+// GenerateTrace writes a synthetic trace to w.
+func GenerateTrace(w io.Writer, spec TraceSpec) error {
+	spec = spec.withDefaults()
+	rng := simnet.NewRand(spec.Seed)
+	var zipf *Zipf
+	if spec.ZipfS > 0 {
+		zipf = NewZipf(simnet.NewRand(spec.Seed^0xace), spec.ZipfS, spec.Keys)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# synthetic memcached trace: ops=%d keys=%d zipf=%.2f gets=%.2f value=%dB seed=%d\n",
+		spec.Ops, spec.Keys, spec.ZipfS, spec.GetFraction, spec.ValueSize, spec.Seed)
+	for i := 0; i < spec.Ops; i++ {
+		var rank int
+		if zipf != nil {
+			rank = zipf.Next()
+		} else {
+			rank = rng.Intn(spec.Keys)
+		}
+		key := fmt.Sprintf("obj:%06d", rank)
+		r := rng.Float64()
+		switch {
+		case r < spec.GetFraction:
+			fmt.Fprintf(bw, "get %s\n", key)
+		case r < spec.GetFraction+(1-spec.GetFraction)*0.9:
+			fmt.Fprintf(bw, "set %s %d\n", key, spec.ValueSize)
+		default:
+			fmt.Fprintf(bw, "delete %s\n", key)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads a trace from r.
+func ParseTrace(r io.Reader) ([]TraceOp, error) {
+	var ops []TraceOp
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := TraceOp{Op: fields[0]}
+		switch op.Op {
+		case "get", "delete":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace line %d: %q", lineNo, line)
+			}
+			op.Key = fields[1]
+		case "set":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace line %d: %q", lineNo, line)
+			}
+			op.Key = fields[1]
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("trace line %d: bad size %q", lineNo, fields[2])
+			}
+			op.Size = n
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown op %q", lineNo, fields[0])
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// TraceResult summarizes a replay.
+type TraceResult struct {
+	Ops               int
+	Gets, Sets, Dels  int
+	Hits, Misses      int
+	MeanUs, P99Us     float64
+	Makespan          simnet.Duration
+	TPS               float64
+	ServerEvictions   uint64
+	ServerCurrItems   uint64
+	ServerBytesStored uint64
+}
+
+// ReplayTrace runs the operations through one client on a fresh
+// deployment and reports cache behaviour plus timing.
+func ReplayTrace(p *cluster.Profile, t cluster.Transport, ops []TraceOp, deploy cluster.Options) (*TraceResult, error) {
+	d := cluster.New(p, deploy)
+	defer d.Close()
+	c, err := d.NewClient(t, mcclient.DefaultBehaviors())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	res := &TraceResult{Ops: len(ops)}
+	rec := &LatencyRecorder{}
+	payload := make([]byte, 1<<20)
+	start := c.Clock.Now()
+	for _, op := range ops {
+		opStart := c.Clock.Now()
+		switch op.Op {
+		case "get":
+			res.Gets++
+			if _, _, _, err := c.MC.Get(op.Key); err == nil {
+				res.Hits++
+			} else if err == mcclient.ErrCacheMiss {
+				res.Misses++
+			} else {
+				return nil, err
+			}
+		case "set":
+			res.Sets++
+			size := op.Size
+			if size > len(payload) {
+				size = len(payload)
+			}
+			if err := c.MC.Set(op.Key, payload[:size], 0, 0); err != nil {
+				return nil, err
+			}
+		case "delete":
+			res.Dels++
+			if err := c.MC.Delete(op.Key); err != nil && err != mcclient.ErrCacheMiss {
+				return nil, err
+			}
+		}
+		rec.Record(c.Clock.Now() - opStart)
+	}
+	res.Makespan = c.Clock.Now() - start
+	res.MeanUs = rec.Mean()
+	res.P99Us = rec.Percentile(99)
+	if res.Makespan > 0 {
+		res.TPS = float64(res.Ops) / res.Makespan.Seconds()
+	}
+	st := d.Server.Store().Stats()
+	res.ServerEvictions = st.Evictions
+	res.ServerCurrItems = st.CurrItems
+	res.ServerBytesStored = st.Bytes
+	return res, nil
+}

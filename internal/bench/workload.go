@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// Mix is an instruction mix from §VI.
+type Mix int
+
+// The paper's four workloads.
+const (
+	// MixSet is 100% Set (Figs 3a/3b, 4a/4b).
+	MixSet Mix = iota
+	// MixGet is 100% Get (Figs 3c/3d, 4c/4d, 6).
+	MixGet
+	// MixNonInterleaved is 10% Set / 90% Get as 10 sets then 90 gets
+	// (Fig 5a/5b).
+	MixNonInterleaved
+	// MixInterleaved is 50% Set / 50% Get, alternating (Fig 5c/5d).
+	MixInterleaved
+)
+
+func (m Mix) String() string {
+	switch m {
+	case MixSet:
+		return "set"
+	case MixGet:
+		return "get"
+	case MixNonInterleaved:
+		return "set10-get90"
+	default:
+		return "set50-get50"
+	}
+}
+
+// ops expands the mix into a cycle of operations (true = set).
+func (m Mix) ops() []bool {
+	switch m {
+	case MixSet:
+		return []bool{true}
+	case MixGet:
+		return []bool{false}
+	case MixNonInterleaved:
+		cycle := make([]bool, 100)
+		for i := 0; i < 10; i++ {
+			cycle[i] = true
+		}
+		return cycle
+	default:
+		return []bool{true, false}
+	}
+}
+
+// Workload generates keys and values, memslap-style: fixed-length keys
+// drawn from a seeded keyspace and incompressible values of the swept
+// size.
+type Workload struct {
+	rng     *simnet.Rand
+	keys    []string
+	value   []byte
+	nextKey int
+}
+
+// NewWorkload builds a workload over nKeys keys with size-byte values.
+func NewWorkload(seed uint64, nKeys, size int) *Workload {
+	w := &Workload{rng: simnet.NewRand(seed)}
+	w.keys = make([]string, nKeys)
+	for i := range w.keys {
+		w.keys[i] = fmt.Sprintf("memslap-%016x-%04d", w.rng.Uint64(), i)
+	}
+	w.value = make([]byte, size)
+	for i := range w.value {
+		w.value[i] = byte(w.rng.Uint64())
+	}
+	return w
+}
+
+// Key returns the next key round-robin.
+func (w *Workload) Key() string {
+	k := w.keys[w.nextKey%len(w.keys)]
+	w.nextKey++
+	return k
+}
+
+// Keys returns the whole keyspace.
+func (w *Workload) Keys() []string { return w.keys }
+
+// Value returns the payload.
+func (w *Workload) Value() []byte { return w.value }
+
+// runClient executes n operations of the mix on one client, recording
+// per-op latency. The keyspace is pre-populated so gets always hit.
+func runClient(c *cluster.Client, w *Workload, mix Mix, n int, rec *LatencyRecorder) error {
+	// Populate, so gets hit and sets overwrite (steady-state behaviour).
+	for _, k := range w.Keys() {
+		if err := c.MC.Set(k, w.Value(), 0, 0); err != nil {
+			return err
+		}
+	}
+	cycle := mix.ops()
+	for i := 0; i < n; i++ {
+		key := w.Key()
+		start := c.Clock.Now()
+		if cycle[i%len(cycle)] {
+			if err := c.MC.Set(key, w.Value(), 0, 0); err != nil {
+				return err
+			}
+		} else {
+			if _, _, _, err := c.MC.Get(key); err != nil {
+				return err
+			}
+		}
+		if rec != nil {
+			rec.Record(c.Clock.Now() - start)
+		}
+	}
+	return nil
+}

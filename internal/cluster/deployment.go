@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/mcclient"
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+	"repro/internal/sockstream"
+	"repro/internal/ucr"
+	"repro/internal/verbs"
+)
+
+// Options tunes a deployment beyond the cluster profile.
+type Options struct {
+	// Servers is the number of memcached server processes, each on its
+	// own node (the paper's deployment sketch, Fig 1b, aggregates spare
+	// memory across many servers; default 1).
+	Servers int
+	// ServerWorkers is the memcached worker-thread count (default 4).
+	ServerWorkers int
+	// MemoryLimit is the server cache size (default 512 MB).
+	MemoryLimit int64
+	// EagerThreshold overrides the UCR eager cut-over (default 8 KB,
+	// used by the ablation bench).
+	EagerThreshold int
+	// DispatchCost / OpCost override the server cost model (defaults
+	// below when zero).
+	DispatchCost simnet.Duration
+	OpCost       simnet.Duration
+	// UCREvents switches the server's UCR completion detection from
+	// polling to interrupt-style events (ablation).
+	UCREvents bool
+	// UseSRQ makes server UCR endpoints draw receives from one shared
+	// pool per worker (§VII scalability; ablation).
+	UseSRQ bool
+}
+
+func (o Options) withDefaults(p *Profile) Options {
+	if o.Servers <= 0 {
+		o.Servers = 1
+	}
+	if o.ServerWorkers <= 0 {
+		o.ServerWorkers = 4
+	}
+	if o.MemoryLimit <= 0 {
+		o.MemoryLimit = 512 << 20
+	}
+	if o.DispatchCost <= 0 {
+		o.DispatchCost = 3 * us
+	}
+	if o.OpCost <= 0 {
+		if p.Name == "B" {
+			o.OpCost = 900
+		} else {
+			o.OpCost = 2200
+		}
+	}
+	return o
+}
+
+// serviceFor names the sockets service for a transport.
+func serviceFor(t Transport) string { return "memcached-" + string(t) }
+
+// ucrServiceFor names the UCR frontend's service for server i (CM
+// service names are fabric-wide, so each server gets its own).
+func ucrServiceFor(i int) string {
+	if i == 0 {
+		return "memcached-ucr"
+	}
+	return fmt.Sprintf("memcached-ucr-%d", i)
+}
+
+// Deployment is one simulated testbed: a network, one memcached server
+// node serving every transport the profile offers, and any number of
+// client nodes.
+type Deployment struct {
+	Profile *Profile
+	Opts    Options
+
+	Network *simnet.Network
+	IB      *simnet.Fabric
+	Eth10G  *simnet.Fabric
+	Eth1G   *simnet.Fabric
+	CM      *verbs.CM
+
+	// ServerNode/Server/ServerHCA/ServerRT are the first server (the
+	// common single-server case); ServerNodes et al. list all of them.
+	ServerNode *simnet.Node
+	Server     *memcached.Server
+	ServerHCA  *verbs.HCA
+	ServerRT   *ucr.Runtime
+
+	ServerNodes []*simnet.Node
+	Servers     []*memcached.Server
+	ServerHCAs  []*verbs.HCA
+	ServerRTs   []*ucr.Runtime
+
+	providers map[Transport]*sockstream.Provider
+	clients   int
+}
+
+// New builds a deployment on the given profile.
+func New(p *Profile, opts Options) *Deployment {
+	opts = opts.withDefaults(p)
+	d := &Deployment{
+		Profile:   p,
+		Opts:      opts,
+		Network:   simnet.NewNetwork(),
+		providers: make(map[Transport]*sockstream.Provider),
+	}
+	d.IB = d.Network.AddFabric(p.IB)
+	if p.Eth10G != nil {
+		d.Eth10G = d.Network.AddFabric(*p.Eth10G)
+	}
+	if p.Eth1G != nil {
+		d.Eth1G = d.Network.AddFabric(*p.Eth1G)
+	}
+	d.CM = verbs.NewCM(d.IB)
+
+	// Socket providers, seated on their fabrics.
+	seat := func(t Transport, model *sockstream.Provider, fab *simnet.Fabric) {
+		if model == nil || fab == nil {
+			return
+		}
+		d.providers[t] = model.Clone(fab)
+	}
+	seat(IPoIB, p.IPoIBModel, d.IB)
+	seat(SDP, p.SDPModel, d.IB)
+	seat(TOE10G, p.TOE10GModel, d.Eth10G)
+	seat(TCP1G, p.TCP1GModel, d.Eth1G)
+
+	ucrCfg := p.UCR
+	if opts.EagerThreshold > 0 {
+		ucrCfg.EagerThreshold = opts.EagerThreshold
+	}
+	ucrCfg.UseSRQ = opts.UseSRQ
+	for i := 0; i < opts.Servers; i++ {
+		name := "server"
+		if opts.Servers > 1 {
+			name = fmt.Sprintf("server%d", i)
+		}
+		node := d.Network.AddNode(name)
+		d.IB.Attach(node)
+		if d.Eth10G != nil {
+			d.Eth10G.Attach(node)
+		}
+		if d.Eth1G != nil {
+			d.Eth1G.Attach(node)
+		}
+		srv := memcached.NewServer(memcached.ServerConfig{
+			Workers:      opts.ServerWorkers,
+			Store:        memcached.StoreConfig{MemoryLimit: opts.MemoryLimit},
+			DispatchCost: opts.DispatchCost,
+			OpCost:       opts.OpCost,
+			UCREvents:    opts.UCREvents,
+		})
+		for t, prov := range d.providers {
+			lis, err := prov.Listen(node, serviceFor(t))
+			if err != nil {
+				panic(fmt.Sprintf("cluster: listen %s: %v", t, err))
+			}
+			srv.ServeSockets(lis)
+		}
+		hca := verbs.NewHCA(node, d.IB, p.HCA)
+		rt := ucr.New(hca, d.CM, ucrCfg)
+		if err := srv.ServeUCR(rt, ucrServiceFor(i)); err != nil {
+			panic(fmt.Sprintf("cluster: serve ucr: %v", err))
+		}
+		d.ServerNodes = append(d.ServerNodes, node)
+		d.Servers = append(d.Servers, srv)
+		d.ServerHCAs = append(d.ServerHCAs, hca)
+		d.ServerRTs = append(d.ServerRTs, rt)
+	}
+	d.ServerNode, d.Server = d.ServerNodes[0], d.Servers[0]
+	d.ServerHCA, d.ServerRT = d.ServerHCAs[0], d.ServerRTs[0]
+	return d
+}
+
+// Client is one benchmark client: a node, a clock, and a connected
+// memcached client handle over one transport.
+type Client struct {
+	Node      *simnet.Node
+	Clock     *simnet.VClock
+	MC        *mcclient.Client
+	Transport Transport
+
+	rt  *ucr.Runtime
+	ctx *ucr.Context
+}
+
+// NewClient adds a client node (its own machine, like the paper's
+// client placement) and connects it to the server over transport t.
+func (d *Deployment) NewClient(t Transport, behaviors mcclient.Behaviors) (*Client, error) {
+	return d.newClient(t, behaviors, false)
+}
+
+// NewClientUD connects a UCR client over an unreliable (UD) endpoint —
+// the paper's §VII extension for scaling client counts (ablation bench).
+func (d *Deployment) NewClientUD(behaviors mcclient.Behaviors) (*Client, error) {
+	return d.newClient(UCRIB, behaviors, true)
+}
+
+func (d *Deployment) newClient(t Transport, behaviors mcclient.Behaviors, unreliable bool) (*Client, error) {
+	if !d.Profile.HasTransport(t) {
+		return nil, fmt.Errorf("cluster %s has no %s", d.Profile.Name, t)
+	}
+	d.clients++
+	node := d.Network.AddNode(fmt.Sprintf("client%d", d.clients))
+	clk := simnet.NewVClock(0)
+	c := &Client{Node: node, Clock: clk, Transport: t}
+
+	var trs []mcclient.Transport
+	if t == UCRIB {
+		hca := verbs.NewHCA(node, d.IB, d.Profile.HCA)
+		ucrCfg := d.Profile.UCR
+		if d.Opts.EagerThreshold > 0 {
+			ucrCfg.EagerThreshold = d.Opts.EagerThreshold
+		}
+		c.rt = ucr.New(hca, d.CM, ucrCfg)
+		c.ctx = c.rt.NewContext()
+		for i, srvNode := range d.ServerNodes {
+			var tr mcclient.Transport
+			var err error
+			if unreliable {
+				tr, err = mcclient.DialUCRUnreliable(c.rt, c.ctx, srvNode, ucrServiceFor(i), behaviors, clk)
+			} else {
+				tr, err = mcclient.DialUCR(c.rt, c.ctx, srvNode, ucrServiceFor(i), behaviors, clk)
+			}
+			if err != nil {
+				return nil, err
+			}
+			trs = append(trs, tr)
+		}
+	} else {
+		prov := d.providers[t]
+		switch t {
+		case IPoIB, SDP:
+			d.IB.Attach(node)
+		case TOE10G:
+			d.Eth10G.Attach(node)
+		case TCP1G:
+			d.Eth1G.Attach(node)
+		}
+		for _, srvNode := range d.ServerNodes {
+			tr, err := mcclient.DialSock(prov, node, srvNode, serviceFor(t), behaviors, clk)
+			if err != nil {
+				return nil, err
+			}
+			trs = append(trs, tr)
+		}
+	}
+	var err error
+	c.MC, err = mcclient.New(clk, behaviors, trs)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the client down.
+func (c *Client) Close() {
+	c.MC.Close()
+	if c.ctx != nil {
+		c.ctx.Destroy()
+	}
+}
+
+// Close stops every server.
+func (d *Deployment) Close() {
+	for _, srv := range d.Servers {
+		srv.Close()
+	}
+}

@@ -1,0 +1,139 @@
+// Package core is the assembled system — the paper's contribution in
+// one handle: Memcached made RDMA-capable through UCR, deployable on
+// either of the simulated testbeds next to the unmodified sockets
+// baselines it is evaluated against.
+//
+// A System is one server process plus any number of clients:
+//
+//	sys, err := core.NewSystem(core.Config{Cluster: "B"})
+//	defer sys.Close()
+//	c, err := sys.AddClient("UCR-IB")
+//	err = c.MC.Set("key", []byte("value"), 0, 0)
+//	v, _, _, err := c.MC.Get("key")
+//
+// Every client runs on its own simulated node with its own virtual
+// clock (c.Clock), so latency is read directly off the clock around an
+// operation. Transports: "UCR-IB" (the paper's design), "IPoIB", "SDP",
+// "10GigE-TOE", "1GigE" (availability depends on the cluster profile).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+)
+
+// Config selects the testbed and server shape.
+type Config struct {
+	// Cluster is "A" (DDR + 10GigE TOE + 1GigE) or "B" (QDR). Default "A".
+	Cluster string
+	// Workers is the server worker-thread count (default 4).
+	Workers int
+	// MemoryBytes is the cache size (default 512 MB).
+	MemoryBytes int64
+	// EagerThreshold overrides UCR's one-transaction cut-over (default
+	// 8 KB, §V).
+	EagerThreshold int
+	// Behaviors is applied to every client this System creates.
+	Behaviors mcclient.Behaviors
+}
+
+// System is a running deployment: one server, N clients.
+type System struct {
+	// Deployment exposes the underlying testbed for advanced use
+	// (direct access to fabrics, the verbs CM, the server process).
+	Deployment *cluster.Deployment
+
+	cfg Config
+
+	mu      sync.Mutex
+	clients []*cluster.Client
+}
+
+// NewSystem boots a server on the chosen cluster, serving all of the
+// profile's transports at once (§V-A compatibility: sockets clients and
+// UCR clients share one process and one cache).
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Cluster == "" {
+		cfg.Cluster = "A"
+	}
+	if cfg.Cluster != "A" && cfg.Cluster != "B" {
+		return nil, fmt.Errorf("core: unknown cluster %q (want A or B)", cfg.Cluster)
+	}
+	if cfg.Behaviors == (mcclient.Behaviors{}) {
+		cfg.Behaviors = mcclient.DefaultBehaviors()
+	}
+	p := cluster.ProfileByName(cfg.Cluster)
+	d := cluster.New(p, cluster.Options{
+		ServerWorkers:  cfg.Workers,
+		MemoryLimit:    cfg.MemoryBytes,
+		EagerThreshold: cfg.EagerThreshold,
+	})
+	return &System{Deployment: d, cfg: cfg}, nil
+}
+
+// Transports lists the transports this system's cluster offers.
+func (s *System) Transports() []string {
+	out := make([]string, 0, len(s.Deployment.Profile.Transports))
+	for _, t := range s.Deployment.Profile.Transports {
+		out = append(out, string(t))
+	}
+	return out
+}
+
+// AddClient connects a new client node over the named transport.
+func (s *System) AddClient(transport string) (*cluster.Client, error) {
+	c, err := s.Deployment.NewClient(cluster.Transport(transport), s.cfg.Behaviors)
+	if err != nil {
+		return nil, err
+	}
+	s.track(c)
+	return c, nil
+}
+
+// AddClientUD connects a UCR client over an unreliable (UD) endpoint —
+// the paper's §VII scaling extension.
+func (s *System) AddClientUD() (*cluster.Client, error) {
+	c, err := s.Deployment.NewClientUD(s.cfg.Behaviors)
+	if err != nil {
+		return nil, err
+	}
+	s.track(c)
+	return c, nil
+}
+
+func (s *System) track(c *cluster.Client) {
+	s.mu.Lock()
+	s.clients = append(s.clients, c)
+	s.mu.Unlock()
+}
+
+// ServerStats snapshots the server engine's counters.
+func (s *System) ServerStats() map[string]uint64 {
+	st := s.Deployment.Server.Store().Stats()
+	return map[string]uint64{
+		"cmd_get":     st.CmdGet,
+		"cmd_set":     st.CmdSet,
+		"get_hits":    st.GetHits,
+		"get_misses":  st.GetMisses,
+		"evictions":   st.Evictions,
+		"expired":     st.Expired,
+		"curr_items":  st.CurrItems,
+		"total_items": st.TotalItems,
+		"bytes":       st.Bytes,
+	}
+}
+
+// Close tears down every client and the server.
+func (s *System) Close() {
+	s.mu.Lock()
+	clients := s.clients
+	s.clients = nil
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	s.Deployment.Close()
+}

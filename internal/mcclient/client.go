@@ -1,0 +1,247 @@
+// Package mcclient is the client library — the role libmemcached 0.45
+// plays in the paper (§V): a server pool, key→server selection by
+// hashing (no central directory, §II-C), client behaviours, and the
+// full operation set, over either the text protocol on sockets or the
+// UCR active-message protocol.
+package mcclient
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+)
+
+// Client errors.
+var (
+	ErrCacheMiss  = errors.New("mcclient: cache miss")
+	ErrNoServers  = errors.New("mcclient: no servers configured")
+	ErrNotStored  = errors.New("mcclient: item not stored")
+	ErrCASExists  = errors.New("mcclient: CAS id mismatch")
+	ErrBadValue   = errors.New("mcclient: non-numeric value for incr/decr")
+	ErrServerDown = errors.New("mcclient: server unreachable")
+)
+
+// Distribution selects the key→server mapping.
+type Distribution int
+
+// Distributions, mirroring libmemcached's MEMCACHED_DISTRIBUTION_*.
+const (
+	// DistModula hashes the key modulo the server count.
+	DistModula Distribution = iota
+	// DistKetama uses consistent hashing (stable under pool changes).
+	DistKetama
+)
+
+// Behaviors mirrors memcached_behavior_set knobs used in the paper
+// (the evaluation sets TCP_NODELAY for predictable latency, §VI).
+type Behaviors struct {
+	// NoDelay sets TCP_NODELAY on socket transports.
+	NoDelay bool
+	// Distribution picks the key→server mapping.
+	Distribution Distribution
+	// OpTimeout bounds each operation in virtual time (0: none); on
+	// expiry the operation returns ErrServerDown, letting the caller
+	// take corrective action (§IV-A).
+	OpTimeout simnet.Duration
+	// AutoEject removes a server from the pool when an operation
+	// reports it unreachable, re-hashing the keyspace over the
+	// survivors (libmemcached's AUTO_EJECT_HOSTS).
+	AutoEject bool
+	// NoReply makes Set fire-and-forget (libmemcached's NOREPLY
+	// behaviour): the text protocol's "noreply" flag, or a UCR AM with
+	// no reply counter. Sets pipeline without waiting on the server;
+	// storage failures (OOM with -M, oversized items) are not reported.
+	NoReply bool
+}
+
+// DefaultBehaviors returns the paper's client configuration.
+func DefaultBehaviors() Behaviors {
+	return Behaviors{NoDelay: true, Distribution: DistModula}
+}
+
+// Transport is one server connection, in either protocol.
+type Transport interface {
+	// Name identifies the server for diagnostics.
+	Name() string
+	// Set stores key=value.
+	Set(clk *simnet.VClock, key string, flags uint32, exptime int64, value []byte) (memcached.StoreResult, error)
+	// Get fetches key. ok=false is a miss.
+	Get(clk *simnet.VClock, key string) (value []byte, flags uint32, cas uint64, ok bool, err error)
+	// GetMulti fetches a key batch in one round trip (text-protocol
+	// multi-key get, or the UCR mget AM). Missing keys are absent from
+	// the result.
+	GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error)
+	// Delete removes key. ok=false is a miss.
+	Delete(clk *simnet.VClock, key string) (ok bool, err error)
+	// IncrDecr adjusts a numeric value.
+	IncrDecr(clk *simnet.VClock, key string, delta uint64, incr bool) (val uint64, found, bad bool, err error)
+	// Close releases the connection.
+	Close()
+}
+
+// Client is a memcached client handle bound to one actor (one virtual
+// clock). It is not safe for concurrent use — create one per goroutine,
+// as with memcached_st in libmemcached.
+type Client struct {
+	behaviors Behaviors
+	servers   []Transport
+	ring      *ketamaRing // non-nil for DistKetama
+	clk       *simnet.VClock
+
+	// Failover state (see failover.go).
+	dead    []bool
+	liveIdx []int
+}
+
+// New builds a client over the given server transports.
+func New(clk *simnet.VClock, behaviors Behaviors, servers []Transport) (*Client, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	c := &Client{behaviors: behaviors, servers: servers, clk: clk}
+	if behaviors.Distribution == DistKetama {
+		names := make([]string, len(servers))
+		for i, s := range servers {
+			names[i] = s.Name()
+		}
+		c.ring = newKetamaRing(names)
+	}
+	return c, nil
+}
+
+// Clock reports the client's virtual clock.
+func (c *Client) Clock() *simnet.VClock { return c.clk }
+
+// ServerFor reports which live server index a key maps to (§II-C: the
+// destination is computed client-side with a hash on the key; ejected
+// servers are skipped). -1 means the pool is empty.
+func (c *Client) ServerFor(key string) int {
+	return c.liveServerFor(key)
+}
+
+// Set stores key=value with the given flags and expiry (seconds).
+func (c *Client) Set(key string, value []byte, flags uint32, exptime int64) error {
+	var res memcached.StoreResult
+	err := c.withTransport(key, func(t Transport) error {
+		var err error
+		res, err = t.Set(c.clk, key, flags, exptime, value)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	switch res {
+	case memcached.Stored:
+		return nil
+	case memcached.Exists:
+		return ErrCASExists
+	case memcached.NotStored, memcached.NotFound:
+		return ErrNotStored
+	default:
+		return fmt.Errorf("mcclient: set failed: %s", res)
+	}
+}
+
+// Get fetches the value for key.
+func (c *Client) Get(key string) (value []byte, flags uint32, cas uint64, err error) {
+	var ok bool
+	err = c.withTransport(key, func(t Transport) error {
+		var err error
+		value, flags, cas, ok, err = t.Get(c.clk, key)
+		return err
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if !ok {
+		return nil, 0, 0, ErrCacheMiss
+	}
+	return value, flags, cas, nil
+}
+
+// GetMulti fetches several keys (libmemcached's mget): keys are grouped
+// by owning server and each group travels as one batched request — a
+// single multi-key get line over sockets, a single mget active message
+// over UCR.
+func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
+	groups := make(map[int][]string)
+	for _, key := range keys {
+		idx := c.ServerFor(key)
+		groups[idx] = append(groups[idx], key)
+	}
+	out := make(map[string][]byte, len(keys))
+	for idx, group := range groups {
+		if idx < 0 {
+			return out, ErrNoServers
+		}
+		part, err := c.servers[idx].GetMulti(c.clk, group)
+		if err == ErrServerDown && c.behaviors.AutoEject {
+			// Eject and refetch this group via the new owners.
+			c.eject(idx)
+			part, err = c.GetMulti(group)
+		}
+		if err != nil {
+			return out, err
+		}
+		for k, v := range part {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key string) error {
+	var ok bool
+	err := c.withTransport(key, func(t Transport) error {
+		var err error
+		ok, err = t.Delete(c.clk, key)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrCacheMiss
+	}
+	return nil
+}
+
+// Incr adds delta to a numeric value.
+func (c *Client) Incr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr(key, delta, true)
+}
+
+// Decr subtracts delta from a numeric value (floored at zero).
+func (c *Client) Decr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr(key, delta, false)
+}
+
+func (c *Client) incrDecr(key string, delta uint64, incr bool) (uint64, error) {
+	var val uint64
+	var found, bad bool
+	err := c.withTransport(key, func(t Transport) error {
+		var err error
+		val, found, bad, err = t.IncrDecr(c.clk, key, delta, incr)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, ErrCacheMiss
+	}
+	if bad {
+		return 0, ErrBadValue
+	}
+	return val, nil
+}
+
+// Close releases all server connections.
+func (c *Client) Close() {
+	for _, s := range c.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,100 @@
+package mcclient
+
+// Server failover: with Behaviors.AutoEject set (libmemcached's
+// AUTO_EJECT_HOSTS), a server whose transport reports ErrServerDown is
+// removed from the pool and the keyspace re-hashes over the survivors —
+// the "corrective action" the paper's §IV-A timeout design exists to
+// enable. With ketama distribution only the dead server's arc moves.
+
+// eject marks server idx dead and rebuilds the live mapping.
+func (c *Client) eject(idx int) {
+	if c.dead == nil {
+		c.dead = make([]bool, len(c.servers))
+	}
+	if c.dead[idx] {
+		return
+	}
+	c.dead[idx] = true
+	c.rebuildLive()
+}
+
+// Ejected reports which servers have been ejected.
+func (c *Client) Ejected() []int {
+	var out []int
+	for i, d := range c.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LiveServers reports how many servers remain in the pool.
+func (c *Client) LiveServers() int {
+	if c.liveIdx == nil {
+		return len(c.servers)
+	}
+	return len(c.liveIdx)
+}
+
+// rebuildLive recomputes the live index list and, for ketama, the ring.
+func (c *Client) rebuildLive() {
+	c.liveIdx = c.liveIdx[:0]
+	var names []string
+	for i, s := range c.servers {
+		if c.dead == nil || !c.dead[i] {
+			c.liveIdx = append(c.liveIdx, i)
+			names = append(names, s.Name())
+		}
+	}
+	if c.behaviors.Distribution == DistKetama {
+		if len(names) > 0 {
+			c.ring = newKetamaRing(names)
+		} else {
+			c.ring = nil
+		}
+	}
+}
+
+// liveServerFor maps a key to a live server index, or -1 if the pool is
+// empty.
+func (c *Client) liveServerFor(key string) int {
+	if c.liveIdx == nil {
+		// No ejections yet: the full pool is live.
+		return c.serverForFull(key)
+	}
+	if len(c.liveIdx) == 0 {
+		return -1
+	}
+	if c.ring != nil {
+		return c.liveIdx[c.ring.lookup(key)]
+	}
+	return c.liveIdx[int(keyHash(key)%uint64(len(c.liveIdx)))]
+}
+
+// serverForFull is the mapping over the full pool (no ejections).
+func (c *Client) serverForFull(key string) int {
+	if c.ring != nil {
+		return c.ring.lookup(key)
+	}
+	return int(keyHash(key) % uint64(len(c.servers)))
+}
+
+// withTransport runs op against the key's server, ejecting and
+// re-hashing on ErrServerDown when AutoEject is enabled. Each retry
+// targets the key's new owner; the loop is bounded by the pool size.
+func (c *Client) withTransport(key string, op func(Transport) error) error {
+	for attempt := 0; attempt <= len(c.servers); attempt++ {
+		idx := c.liveServerFor(key)
+		if idx < 0 {
+			return ErrNoServers
+		}
+		err := op(c.servers[idx])
+		if err == ErrServerDown && c.behaviors.AutoEject {
+			c.eject(idx)
+			continue
+		}
+		return err
+	}
+	return ErrServerDown
+}

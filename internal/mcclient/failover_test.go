@@ -1,0 +1,144 @@
+package mcclient
+
+import (
+	"fmt"
+	"testing"
+)
+
+func newEjectClient(t *testing.T, n int, dist Distribution) (*Client, []*fakeTransport) {
+	t.Helper()
+	fakes := make([]*fakeTransport, n)
+	trs := make([]Transport, n)
+	for i := range fakes {
+		fakes[i] = newFake(fmt.Sprintf("server%d", i))
+		trs[i] = fakes[i]
+	}
+	b := DefaultBehaviors()
+	b.Distribution = dist
+	b.AutoEject = true
+	c, err := New(newTestClock(), b, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fakes
+}
+
+func TestAutoEjectRehashes(t *testing.T) {
+	for _, dist := range []Distribution{DistModula, DistKetama} {
+		t.Run(fmt.Sprint(dist), func(t *testing.T) {
+			c, fakes := newEjectClient(t, 4, dist)
+			// Find a key owned by server 2, then kill server 2.
+			var key string
+			for i := 0; ; i++ {
+				key = fmt.Sprintf("probe-%d", i)
+				if c.ServerFor(key) == 2 {
+					break
+				}
+			}
+			fakes[2].broken = true
+			// The op transparently ejects and lands on a survivor.
+			if err := c.Set(key, []byte("v"), 0, 0); err != nil {
+				t.Fatalf("Set with auto-eject = %v", err)
+			}
+			if got := c.Ejected(); len(got) != 1 || got[0] != 2 {
+				t.Fatalf("Ejected = %v", got)
+			}
+			if c.LiveServers() != 3 {
+				t.Fatalf("LiveServers = %d", c.LiveServers())
+			}
+			// The key now consistently maps to a live server and reads back.
+			if idx := c.ServerFor(key); idx == 2 || idx < 0 {
+				t.Fatalf("key still maps to dead server: %d", idx)
+			}
+			v, _, _, err := c.Get(key)
+			if err != nil || string(v) != "v" {
+				t.Fatalf("Get after eject = (%q, %v)", v, err)
+			}
+		})
+	}
+}
+
+func TestAutoEjectDisabledPropagatesError(t *testing.T) {
+	c, fakes := newFakeClient(t, 3, DistModula) // AutoEject off
+	for _, f := range fakes {
+		f.broken = true
+	}
+	if err := c.Set("k", []byte("v"), 0, 0); err != ErrServerDown {
+		t.Fatalf("err = %v, want ErrServerDown", err)
+	}
+	if len(c.Ejected()) != 0 {
+		t.Fatal("ejection happened with AutoEject disabled")
+	}
+}
+
+func TestAutoEjectAllDead(t *testing.T) {
+	c, fakes := newEjectClient(t, 3, DistModula)
+	for _, f := range fakes {
+		f.broken = true
+	}
+	err := c.Set("k", []byte("v"), 0, 0)
+	if err != ErrNoServers && err != ErrServerDown {
+		t.Fatalf("err = %v, want pool-exhausted error", err)
+	}
+	if c.LiveServers() != 0 {
+		t.Fatalf("LiveServers = %d, want 0", c.LiveServers())
+	}
+}
+
+func TestAutoEjectKetamaMinimalMovement(t *testing.T) {
+	// With ketama, ejecting one server must leave most other keys on
+	// their original owners.
+	c, fakes := newEjectClient(t, 5, DistKetama)
+	before := map[string]int{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = c.ServerFor(k)
+	}
+	fakes[1].broken = true
+	// Trigger ejection with a key owned by server 1.
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("trigger-%d", i)
+		if c.ServerFor(k) == 1 {
+			if err := c.Set(k, []byte("v"), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	moved := 0
+	for k, owner := range before {
+		if owner == 1 {
+			continue // must move
+		}
+		if c.ServerFor(k) != owner {
+			moved++
+		}
+	}
+	if float64(moved)/float64(len(before)) > 0.05 {
+		t.Fatalf("ketama ejection moved %d/%d unaffected keys", moved, len(before))
+	}
+}
+
+func TestGetMultiWithEjection(t *testing.T) {
+	c, fakes := newEjectClient(t, 3, DistModula)
+	keys := make([]string, 30)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mk-%d", i)
+		if err := c.Set(keys[i], []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fakes[0].broken = true
+	got, err := c.GetMulti(keys)
+	if err != nil {
+		t.Fatalf("GetMulti with ejection = %v", err)
+	}
+	// Keys that lived only on the dead server are lost (cache semantics:
+	// misses, not errors); the rest must be present.
+	if len(got) == 0 {
+		t.Fatal("all keys lost")
+	}
+	if len(c.Ejected()) != 1 {
+		t.Fatalf("Ejected = %v", c.Ejected())
+	}
+}

@@ -1,0 +1,229 @@
+package mcclient
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+	"repro/internal/sockstream"
+)
+
+// SockTransport speaks the memcached text protocol over a simulated
+// socket — the unmodified-client path the paper benchmarks on 1GigE,
+// 10GigE-TOE, IPoIB and SDP.
+type SockTransport struct {
+	name    string
+	conn    *sockstream.Conn
+	r       *bufio.Reader
+	noReply bool
+}
+
+// DialSock connects a socket transport. The handshake cost lands on clk.
+func DialSock(p *sockstream.Provider, from, to *simnet.Node, service string, behaviors Behaviors, clk *simnet.VClock) (*SockTransport, error) {
+	conn, err := p.Dial(from, to, service, clk, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn.NoDelay = behaviors.NoDelay
+	return &SockTransport{
+		name:    to.Name() + "/" + service,
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 16*1024),
+		noReply: behaviors.NoReply,
+	}, nil
+}
+
+// Name identifies the server.
+func (t *SockTransport) Name() string { return t.name }
+
+// Conn exposes the stream (tests).
+func (t *SockTransport) Conn() *sockstream.Conn { return t.conn }
+
+func (t *SockTransport) readLine() (string, error) {
+	line, err := t.r.ReadString('\n')
+	if err != nil {
+		return "", ErrServerDown
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Set implements Transport. With the NoReply behaviour the command is
+// pipelined with the protocol's "noreply" flag and assumed stored.
+func (t *SockTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime int64, value []byte) (memcached.StoreResult, error) {
+	t.conn.SetClock(clk)
+	suffix := ""
+	if t.noReply {
+		suffix = " noreply"
+	}
+	req := fmt.Sprintf("set %s %d %d %d%s\r\n", key, flags, exptime, len(value), suffix)
+	buf := make([]byte, 0, len(req)+len(value)+2)
+	buf = append(buf, req...)
+	buf = append(buf, value...)
+	buf = append(buf, '\r', '\n')
+	if _, err := t.conn.Write(buf); err != nil {
+		return 0, ErrServerDown
+	}
+	if t.noReply {
+		return memcached.Stored, nil
+	}
+	line, err := t.readLine()
+	if err != nil {
+		return 0, err
+	}
+	switch line {
+	case "STORED":
+		return memcached.Stored, nil
+	case "NOT_STORED":
+		return memcached.NotStored, nil
+	case "EXISTS":
+		return memcached.Exists, nil
+	case "NOT_FOUND":
+		return memcached.NotFound, nil
+	default:
+		return 0, fmt.Errorf("mcclient: set: %s", line)
+	}
+}
+
+// Get implements Transport.
+func (t *SockTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
+	t.conn.SetClock(clk)
+	if _, err := t.conn.Write([]byte("gets " + key + "\r\n")); err != nil {
+		return nil, 0, 0, false, ErrServerDown
+	}
+	line, err := t.readLine()
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if line == "END" {
+		return nil, 0, 0, false, nil
+	}
+	var rkey string
+	var flags uint32
+	var n int
+	var cas uint64
+	if _, err := fmt.Sscanf(line, "VALUE %s %d %d %d", &rkey, &flags, &n, &cas); err != nil {
+		return nil, 0, 0, false, fmt.Errorf("mcclient: get: %q", line)
+	}
+	value := make([]byte, n)
+	if _, err := io.ReadFull(t.r, value); err != nil {
+		return nil, 0, 0, false, ErrServerDown
+	}
+	// Trailing \r\n and END\r\n.
+	if _, err := t.readLine(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	if end, err := t.readLine(); err != nil || end != "END" {
+		return nil, 0, 0, false, fmt.Errorf("mcclient: get: missing END (%q, %v)", end, err)
+	}
+	return value, flags, cas, true, nil
+}
+
+// GetMulti implements Transport with the text protocol's native
+// multi-key get: one request line, one VALUE block per hit.
+func (t *SockTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	t.conn.SetClock(clk)
+	cmd := "get " + strings.Join(keys, " ") + "\r\n"
+	if _, err := t.conn.Write([]byte(cmd)); err != nil {
+		return nil, ErrServerDown
+	}
+	out := make(map[string][]byte, len(keys))
+	for {
+		line, err := t.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		var rkey string
+		var flags uint32
+		var n int
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &rkey, &flags, &n); err != nil {
+			return nil, fmt.Errorf("mcclient: mget: %q", line)
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(t.r, value); err != nil {
+			return nil, ErrServerDown
+		}
+		if _, err := t.readLine(); err != nil { // trailing \r\n
+			return nil, err
+		}
+		out[rkey] = value
+	}
+}
+
+// Delete implements Transport.
+func (t *SockTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
+	t.conn.SetClock(clk)
+	if _, err := t.conn.Write([]byte("delete " + key + "\r\n")); err != nil {
+		return false, ErrServerDown
+	}
+	line, err := t.readLine()
+	if err != nil {
+		return false, err
+	}
+	return line == "DELETED", nil
+}
+
+// IncrDecr implements Transport.
+func (t *SockTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, incr bool) (uint64, bool, bool, error) {
+	t.conn.SetClock(clk)
+	op := "incr"
+	if !incr {
+		op = "decr"
+	}
+	cmd := fmt.Sprintf("%s %s %d\r\n", op, key, delta)
+	if _, err := t.conn.Write([]byte(cmd)); err != nil {
+		return 0, false, false, ErrServerDown
+	}
+	line, err := t.readLine()
+	if err != nil {
+		return 0, false, false, err
+	}
+	switch {
+	case line == "NOT_FOUND":
+		return 0, false, false, nil
+	case strings.HasPrefix(line, "CLIENT_ERROR"):
+		return 0, true, true, nil
+	default:
+		val, perr := strconv.ParseUint(line, 10, 64)
+		if perr != nil {
+			return 0, false, false, fmt.Errorf("mcclient: %s: %q", op, line)
+		}
+		return val, true, false, nil
+	}
+}
+
+// Stats fetches the server's stats block.
+func (t *SockTransport) Stats(clk *simnet.VClock) (map[string]uint64, error) {
+	t.conn.SetClock(clk)
+	if _, err := t.conn.Write([]byte("stats\r\n")); err != nil {
+		return nil, ErrServerDown
+	}
+	out := make(map[string]uint64)
+	for {
+		line, err := t.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		var name string
+		var val uint64
+		if _, err := fmt.Sscanf(line, "STAT %s %d", &name, &val); err == nil {
+			out[name] = val
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *SockTransport) Close() { t.conn.Close() }

@@ -1,0 +1,271 @@
+package mcclient
+
+import (
+	"time"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+	"repro/internal/ucr"
+)
+
+// UCRTransport speaks the paper's active-message protocol (§V): every
+// request is AM 1 carrying the client's counter C; the client then
+// blocks on C with a timeout while driving its progress context, and
+// the server's AM 2 reply targets C. Get replies land in a client-local
+// buffer pool, sized on demand when the header handler learns the item
+// length (§V-C).
+type UCRTransport struct {
+	name    string
+	rt      *ucr.Runtime
+	ctx     *ucr.Context
+	ep      *ucr.Endpoint
+	ctr     *ucr.Counter
+	replies uint64
+	timeout simnet.Duration
+	noReply bool
+
+	// Reply slots, written by the AM handlers while this transport's
+	// owner drives progress.
+	valueBuf  []byte // local buffer pool for get replies
+	gotStatus memcached.StatusReply
+	gotGet    memcached.GetReply
+	gotMGet   memcached.MGetReply
+	gotNum    memcached.NumReply
+	gotValue  []byte
+}
+
+// DialUCR establishes a reliable UCR endpoint to a memcached server and
+// installs the reply handlers on the client runtime (idempotent).
+func DialUCR(rt *ucr.Runtime, ctx *ucr.Context, to *simnet.Node, service string, behaviors Behaviors, clk *simnet.VClock) (*UCRTransport, error) {
+	return dialUCR(rt, ctx, to, service, behaviors, clk, ucr.Reliable)
+}
+
+// DialUCRUnreliable uses a UD-backed endpoint (§VII future work: the
+// datagram transport for scaling client counts). Values beyond one MTU
+// cannot be carried.
+func DialUCRUnreliable(rt *ucr.Runtime, ctx *ucr.Context, to *simnet.Node, service string, behaviors Behaviors, clk *simnet.VClock) (*UCRTransport, error) {
+	return dialUCR(rt, ctx, to, service, behaviors, clk, ucr.Unreliable)
+}
+
+func dialUCR(rt *ucr.Runtime, ctx *ucr.Context, to *simnet.Node, service string, behaviors Behaviors, clk *simnet.VClock, rel ucr.Reliability) (*UCRTransport, error) {
+	RegisterClientHandlers(rt)
+	ep, err := rt.Dial(ctx, to, service, rel, clk, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	t := &UCRTransport{
+		name:    to.Name() + "/" + service,
+		rt:      rt,
+		ctx:     ctx,
+		ep:      ep,
+		ctr:     rt.NewCounter(),
+		timeout: behaviors.OpTimeout,
+		noReply: behaviors.NoReply,
+	}
+	ep.UserData = t
+	return t, nil
+}
+
+// RegisterClientHandlers installs the AM 2 reply handlers on a client
+// runtime. Safe to call repeatedly.
+func RegisterClientHandlers(rt *ucr.Runtime) {
+	rt.RegisterHandler(memcached.AMSetReply, ucr.Handler{
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte { return nil },
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return
+			}
+			t.gotStatus, _ = memcached.DecodeStatusReply(hdr)
+		},
+	})
+	rt.RegisterHandler(memcached.AMGetReply, ucr.Handler{
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return nil
+			}
+			// §V-C: the client learns the item size here and allocates
+			// the destination from its local buffer pool.
+			if cap(t.valueBuf) < dataLen {
+				t.valueBuf = make([]byte, dataLen)
+			}
+			return t.valueBuf[:dataLen]
+		},
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return
+			}
+			t.gotGet, _ = memcached.DecodeGetReply(hdr)
+			t.gotValue = data
+		},
+	})
+	rt.RegisterHandler(memcached.AMMGetReply, ucr.Handler{
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return nil
+			}
+			if cap(t.valueBuf) < dataLen {
+				t.valueBuf = make([]byte, dataLen)
+			}
+			return t.valueBuf[:dataLen]
+		},
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return
+			}
+			t.gotMGet, _ = memcached.DecodeMGetReply(hdr)
+			t.gotValue = data
+		},
+	})
+	rt.RegisterHandler(memcached.AMNumReply, ucr.Handler{
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte { return nil },
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return
+			}
+			t.gotNum, _ = memcached.DecodeNumReply(hdr)
+		},
+	})
+}
+
+// Name identifies the server.
+func (t *UCRTransport) Name() string { return t.name }
+
+// Endpoint exposes the UCR endpoint (tests).
+func (t *UCRTransport) Endpoint() *ucr.Endpoint { return t.ep }
+
+// awaitReply blocks on counter C (§V-B: "a blocking call with client
+// specified timeout").
+func (t *UCRTransport) awaitReply(clk *simnet.VClock) error {
+	t.replies++
+	if err := t.ctx.WaitCounter(clk, t.ctr, t.replies, t.timeout); err != nil {
+		return ErrServerDown
+	}
+	return nil
+}
+
+// Set implements Transport. With the NoReply behaviour the request
+// carries no reply counter — the server stores the item and answers
+// nothing (§V-B's reply is driven entirely by the client's counter C) —
+// and the client only waits for local completion (origin counter,
+// §IV-C), which is when its buffer is reusable.
+func (t *UCRTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime int64, value []byte) (memcached.StoreResult, error) {
+	if t.noReply {
+		hdr := memcached.EncodeSetReq(memcached.SetReq{
+			ReplyCtr: 0, Flags: flags, Exptime: exptime, Key: key,
+		})
+		origin := t.rt.NewCounter()
+		defer t.rt.FreeCounter(origin)
+		if err := t.ep.Send(clk, memcached.AMSet, hdr, value, origin, 0, nil); err != nil {
+			return 0, ErrServerDown
+		}
+		if err := t.ctx.WaitCounter(clk, origin, 1, t.timeout); err != nil {
+			return 0, ErrServerDown
+		}
+		return memcached.Stored, nil
+	}
+	hdr := memcached.EncodeSetReq(memcached.SetReq{
+		ReplyCtr: t.ctr.ID(), Flags: flags, Exptime: exptime, Key: key,
+	})
+	if err := t.ep.Send(clk, memcached.AMSet, hdr, value, nil, 0, nil); err != nil {
+		return 0, ErrServerDown
+	}
+	if err := t.awaitReply(clk); err != nil {
+		return 0, err
+	}
+	if t.gotStatus.Status != memcached.AMOK {
+		return t.gotStatus.Result, nil
+	}
+	return memcached.Stored, nil
+}
+
+// Get implements Transport.
+func (t *UCRTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
+	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: t.ctr.ID(), Key: key})
+	if err := t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil); err != nil {
+		return nil, 0, 0, false, ErrServerDown
+	}
+	if err := t.awaitReply(clk); err != nil {
+		return nil, 0, 0, false, err
+	}
+	if t.gotGet.Status != memcached.AMOK {
+		return nil, 0, 0, false, nil
+	}
+	out := make([]byte, len(t.gotValue))
+	copy(out, t.gotValue)
+	return out, t.gotGet.Flags, t.gotGet.CAS, true, nil
+}
+
+// GetMulti implements Transport with a single mget active message: the
+// reply carries all metadata in its header and the values concatenated
+// as the AM data (one transaction if small, one RDMA read if large).
+func (t *UCRTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: uint64(t.ctr.ID()), Keys: keys})
+	if err := t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil); err != nil {
+		return nil, ErrServerDown
+	}
+	if err := t.awaitReply(clk); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(t.gotMGet.Items))
+	off := 0
+	for _, it := range t.gotMGet.Items {
+		if off+it.ValueLen > len(t.gotValue) {
+			return nil, memcached.ErrShortAMHeader
+		}
+		v := make([]byte, it.ValueLen)
+		copy(v, t.gotValue[off:off+it.ValueLen])
+		out[it.Key] = v
+		off += it.ValueLen
+	}
+	return out, nil
+}
+
+// Delete implements Transport.
+func (t *UCRTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
+	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: t.ctr.ID(), Key: key})
+	if err := t.ep.Send(clk, memcached.AMDelete, hdr, nil, nil, 0, nil); err != nil {
+		return false, ErrServerDown
+	}
+	if err := t.awaitReply(clk); err != nil {
+		return false, err
+	}
+	return t.gotStatus.Status == memcached.AMOK, nil
+}
+
+// IncrDecr implements Transport.
+func (t *UCRTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, incr bool) (uint64, bool, bool, error) {
+	op := memcached.AMIncr
+	if !incr {
+		op = memcached.AMDecr
+	}
+	hdr := memcached.EncodeNumReq(memcached.NumReq{ReplyCtr: t.ctr.ID(), Delta: delta, Key: key})
+	if err := t.ep.Send(clk, op, hdr, nil, nil, 0, nil); err != nil {
+		return 0, false, false, ErrServerDown
+	}
+	if err := t.awaitReply(clk); err != nil {
+		return 0, false, false, err
+	}
+	switch t.gotNum.Status {
+	case memcached.AMOK:
+		return t.gotNum.Value, true, false, nil
+	case memcached.AMBadValue:
+		return 0, true, true, nil
+	default:
+		return 0, false, false, nil
+	}
+}
+
+// Close implements Transport.
+func (t *UCRTransport) Close() {
+	t.rt.FreeCounter(t.ctr)
+	t.ep.Close()
+}

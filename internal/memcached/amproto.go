@@ -1,0 +1,210 @@
+package memcached
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/ucr"
+)
+
+// Active-message ids for the UCR frontend (paper §V). AM 1 carries the
+// client's request (its header names the client counter C to target with
+// the reply); AM 2 is the server's answer, targeting C.
+const (
+	AMSet      uint8 = 0x10
+	AMGet      uint8 = 0x11
+	AMDelete   uint8 = 0x12
+	AMIncr     uint8 = 0x13
+	AMDecr     uint8 = 0x14
+	AMSetReply uint8 = 0x20
+	AMGetReply uint8 = 0x21
+	AMNumReply uint8 = 0x22 // incr/decr reply carrying the new value
+)
+
+// AM reply status codes.
+const (
+	AMOK       uint8 = 0
+	AMMiss     uint8 = 1
+	AMError    uint8 = 2
+	AMBadValue uint8 = 3
+)
+
+// ErrShortAMHeader reports a malformed active-message header.
+var ErrShortAMHeader = errors.New("memcached: short active-message header")
+
+// SetReq is the AM 1 header for a Set; the item value travels as the
+// AM data (pulled by the server with RDMA Read when large).
+type SetReq struct {
+	ReplyCtr ucr.CounterID
+	Flags    uint32
+	Exptime  int64
+	Key      string
+}
+
+// EncodeSetReq packs the header.
+func EncodeSetReq(r SetReq) []byte {
+	b := make([]byte, 8+4+8+2+len(r.Key))
+	le := binary.LittleEndian
+	le.PutUint64(b, uint64(r.ReplyCtr))
+	le.PutUint32(b[8:], r.Flags)
+	le.PutUint64(b[12:], uint64(r.Exptime))
+	le.PutUint16(b[20:], uint16(len(r.Key)))
+	copy(b[22:], r.Key)
+	return b
+}
+
+// DecodeSetReq unpacks the header.
+func DecodeSetReq(b []byte) (SetReq, error) {
+	if len(b) < 22 {
+		return SetReq{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[20:]))
+	if len(b) < 22+kl {
+		return SetReq{}, ErrShortAMHeader
+	}
+	return SetReq{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Flags:    le.Uint32(b[8:]),
+		Exptime:  int64(le.Uint64(b[12:])),
+		Key:      string(b[22 : 22+kl]),
+	}, nil
+}
+
+// KeyReq is the AM 1 header for Get and Delete.
+type KeyReq struct {
+	ReplyCtr ucr.CounterID
+	Key      string
+}
+
+// EncodeKeyReq packs the header.
+func EncodeKeyReq(r KeyReq) []byte {
+	b := make([]byte, 8+2+len(r.Key))
+	le := binary.LittleEndian
+	le.PutUint64(b, uint64(r.ReplyCtr))
+	le.PutUint16(b[8:], uint16(len(r.Key)))
+	copy(b[10:], r.Key)
+	return b
+}
+
+// DecodeKeyReq unpacks the header.
+func DecodeKeyReq(b []byte) (KeyReq, error) {
+	if len(b) < 10 {
+		return KeyReq{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[8:]))
+	if len(b) < 10+kl {
+		return KeyReq{}, ErrShortAMHeader
+	}
+	return KeyReq{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Key:      string(b[10 : 10+kl]),
+	}, nil
+}
+
+// NumReq is the AM 1 header for Incr/Decr.
+type NumReq struct {
+	ReplyCtr ucr.CounterID
+	Delta    uint64
+	Key      string
+}
+
+// EncodeNumReq packs the header.
+func EncodeNumReq(r NumReq) []byte {
+	b := make([]byte, 8+8+2+len(r.Key))
+	le := binary.LittleEndian
+	le.PutUint64(b, uint64(r.ReplyCtr))
+	le.PutUint64(b[8:], r.Delta)
+	le.PutUint16(b[16:], uint16(len(r.Key)))
+	copy(b[18:], r.Key)
+	return b
+}
+
+// DecodeNumReq unpacks the header.
+func DecodeNumReq(b []byte) (NumReq, error) {
+	if len(b) < 18 {
+		return NumReq{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[16:]))
+	if len(b) < 18+kl {
+		return NumReq{}, ErrShortAMHeader
+	}
+	return NumReq{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Delta:    le.Uint64(b[8:]),
+		Key:      string(b[18 : 18+kl]),
+	}, nil
+}
+
+// StatusReply is the AM 2 header for Set/Delete replies.
+type StatusReply struct {
+	Status uint8
+	Result StoreResult // meaningful for Set
+}
+
+// EncodeStatusReply packs the header.
+func EncodeStatusReply(r StatusReply) []byte {
+	return []byte{r.Status, byte(r.Result)}
+}
+
+// DecodeStatusReply unpacks the header.
+func DecodeStatusReply(b []byte) (StatusReply, error) {
+	if len(b) < 2 {
+		return StatusReply{}, ErrShortAMHeader
+	}
+	return StatusReply{Status: b[0], Result: StoreResult(b[1])}, nil
+}
+
+// GetReply is the AM 2 header for a Get; the value travels as AM data
+// (eagerly ≤ the threshold, else the client RDMA-reads it from the
+// server's slab memory). In the standard Memcached API the client does
+// not know the item length beforehand — it learns it from this AM and
+// allocates the destination buffer in its header handler (§V-C).
+type GetReply struct {
+	Status uint8
+	Flags  uint32
+	CAS    uint64
+}
+
+// EncodeGetReply packs the header.
+func EncodeGetReply(r GetReply) []byte {
+	b := make([]byte, 1+4+8)
+	b[0] = r.Status
+	le := binary.LittleEndian
+	le.PutUint32(b[1:], r.Flags)
+	le.PutUint64(b[5:], r.CAS)
+	return b
+}
+
+// DecodeGetReply unpacks the header.
+func DecodeGetReply(b []byte) (GetReply, error) {
+	if len(b) < 13 {
+		return GetReply{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	return GetReply{Status: b[0], Flags: le.Uint32(b[1:]), CAS: le.Uint64(b[5:])}, nil
+}
+
+// NumReply is the AM 2 header for Incr/Decr.
+type NumReply struct {
+	Status uint8
+	Value  uint64
+}
+
+// EncodeNumReply packs the header.
+func EncodeNumReply(r NumReply) []byte {
+	b := make([]byte, 9)
+	b[0] = r.Status
+	binary.LittleEndian.PutUint64(b[1:], r.Value)
+	return b
+}
+
+// DecodeNumReply unpacks the header.
+func DecodeNumReply(b []byte) (NumReply, error) {
+	if len(b) < 9 {
+		return NumReply{}, ErrShortAMHeader
+	}
+	return NumReply{Status: b[0], Value: binary.LittleEndian.Uint64(b[1:])}, nil
+}

@@ -1,0 +1,133 @@
+package memcached
+
+import (
+	"encoding/binary"
+)
+
+// Multi-get over UCR: one AM 1 carries the whole key batch, one AM 2
+// returns every found item with the values concatenated as the AM data.
+// The paper's §V notes mget follows from the same set/get principles —
+// and it does: a small batch rides the eager path in one transaction,
+// while a batch with large aggregate value size is pulled by the client
+// with a single RDMA read.
+const (
+	AMMGet      uint8 = 0x15
+	AMMGetReply uint8 = 0x23
+)
+
+// MGetReq is the AM 1 header for a multi-get.
+type MGetReq struct {
+	ReplyCtr uint64 // ucr.CounterID; kept numeric to avoid import cycles in callers
+	Keys     []string
+}
+
+// EncodeMGetReq packs the header: replyCtr(8) nkeys(2) {klen(2) key}*.
+func EncodeMGetReq(r MGetReq) []byte {
+	n := 8 + 2
+	for _, k := range r.Keys {
+		n += 2 + len(k)
+	}
+	b := make([]byte, n)
+	le := binary.LittleEndian
+	le.PutUint64(b, r.ReplyCtr)
+	le.PutUint16(b[8:], uint16(len(r.Keys)))
+	off := 10
+	for _, k := range r.Keys {
+		le.PutUint16(b[off:], uint16(len(k)))
+		off += 2
+		off += copy(b[off:], k)
+	}
+	return b
+}
+
+// DecodeMGetReq unpacks the header.
+func DecodeMGetReq(b []byte) (MGetReq, error) {
+	if len(b) < 10 {
+		return MGetReq{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	r := MGetReq{ReplyCtr: le.Uint64(b)}
+	nkeys := int(le.Uint16(b[8:]))
+	off := 10
+	r.Keys = make([]string, 0, nkeys)
+	for i := 0; i < nkeys; i++ {
+		if off+2 > len(b) {
+			return MGetReq{}, ErrShortAMHeader
+		}
+		kl := int(le.Uint16(b[off:]))
+		off += 2
+		if off+kl > len(b) {
+			return MGetReq{}, ErrShortAMHeader
+		}
+		r.Keys = append(r.Keys, string(b[off:off+kl]))
+		off += kl
+	}
+	return r, nil
+}
+
+// MGetItem describes one found item in a multi-get reply; its value is
+// a slice of the reply's concatenated data block.
+type MGetItem struct {
+	Key      string
+	Flags    uint32
+	CAS      uint64
+	ValueLen int
+}
+
+// MGetReply is the AM 2 header: the per-item metadata; the values are
+// the AM data, concatenated in item order.
+type MGetReply struct {
+	Items []MGetItem
+}
+
+// EncodeMGetReply packs the header: nitems(2) {klen(2) flags(4) cas(8)
+// vlen(4) key}*.
+func EncodeMGetReply(r MGetReply) []byte {
+	n := 2
+	for _, it := range r.Items {
+		n += 2 + 4 + 8 + 4 + len(it.Key)
+	}
+	b := make([]byte, n)
+	le := binary.LittleEndian
+	le.PutUint16(b, uint16(len(r.Items)))
+	off := 2
+	for _, it := range r.Items {
+		le.PutUint16(b[off:], uint16(len(it.Key)))
+		le.PutUint32(b[off+2:], it.Flags)
+		le.PutUint64(b[off+6:], it.CAS)
+		le.PutUint32(b[off+14:], uint32(it.ValueLen))
+		off += 18
+		off += copy(b[off:], it.Key)
+	}
+	return b
+}
+
+// DecodeMGetReply unpacks the header.
+func DecodeMGetReply(b []byte) (MGetReply, error) {
+	if len(b) < 2 {
+		return MGetReply{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	nitems := int(le.Uint16(b))
+	off := 2
+	r := MGetReply{Items: make([]MGetItem, 0, nitems)}
+	for i := 0; i < nitems; i++ {
+		if off+18 > len(b) {
+			return MGetReply{}, ErrShortAMHeader
+		}
+		it := MGetItem{
+			Flags:    le.Uint32(b[off+2:]),
+			CAS:      le.Uint64(b[off+6:]),
+			ValueLen: int(le.Uint32(b[off+14:])),
+		}
+		kl := int(le.Uint16(b[off:]))
+		off += 18
+		if off+kl > len(b) {
+			return MGetReply{}, ErrShortAMHeader
+		}
+		it.Key = string(b[off : off+kl])
+		off += kl
+		r.Items = append(r.Items, it)
+	}
+	return r, nil
+}

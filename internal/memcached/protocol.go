@@ -1,0 +1,346 @@
+package memcached
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/simnet"
+)
+
+// Version is the engine's version string, derived from the memcached
+// release the paper extended (server 1.4.5, §V).
+const Version = "1.4.5-ucr-go"
+
+// ProtoConn drives the memcached *text protocol* over any byte stream —
+// a simulated socket (internal/sockstream) or a real net.Conn. This is
+// the unmodified-memcached path the paper benchmarks over 1GigE,
+// 10GigE-TOE, IPoIB and SDP.
+type ProtoConn struct {
+	r     *bufio.Reader
+	w     io.Writer
+	store *Store
+}
+
+// NewProtoConn wraps a stream.
+func NewProtoConn(rw io.ReadWriter, store *Store) *ProtoConn {
+	return &ProtoConn{r: bufio.NewReaderSize(rw, 16*1024), w: rw, store: store}
+}
+
+// Buffered reports bytes already read off the stream but not yet
+// consumed by the codec. A server's burst loop must drain these before
+// parking the connection: they will never raise another readability
+// event.
+func (pc *ProtoConn) Buffered() int { return pc.r.Buffered() }
+
+// ServeOne reads one command, executes it against the store at the
+// clock's current virtual time, and writes the reply. quit=true means
+// the client sent quit; a non-nil error means the connection is
+// unusable (EOF, protocol desync) and should be dropped.
+//
+// clk is the serving thread's clock; the underlying stream charges its
+// I/O costs to whatever clock it is seated on (the same one, when the
+// server set it up), and command execution is timestamped after the
+// request has fully arrived.
+func (pc *ProtoConn) ServeOne(clk *simnet.VClock) (quit bool, err error) {
+	line, err := pc.readLine()
+	if err != nil {
+		return false, err
+	}
+	now := clk.Now()
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, pc.reply("ERROR\r\n")
+	}
+	switch fields[0] {
+	case "get", "gets":
+		return false, pc.cmdGet(fields, now)
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return false, pc.cmdStore(fields, now)
+	case "delete":
+		return false, pc.cmdDelete(fields, now)
+	case "incr", "decr":
+		return false, pc.cmdIncrDecr(fields, now)
+	case "touch":
+		return false, pc.cmdTouch(fields, now)
+	case "stats":
+		return false, pc.cmdStats(fields)
+	case "flush_all":
+		pc.store.FlushAll(now)
+		return false, pc.reply("OK\r\n")
+	case "version":
+		return false, pc.reply("VERSION " + Version + "\r\n")
+	case "verbosity":
+		return false, pc.reply("OK\r\n")
+	case "quit":
+		return true, nil
+	default:
+		return false, pc.reply("ERROR\r\n")
+	}
+}
+
+func (pc *ProtoConn) readLine() (string, error) {
+	line, err := pc.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (pc *ProtoConn) reply(s string) error {
+	_, err := io.WriteString(pc.w, s)
+	return err
+}
+
+func (pc *ProtoConn) cmdGet(fields []string, now simnet.Time) error {
+	withCAS := fields[0] == "gets"
+	if len(fields) < 2 {
+		return pc.reply("ERROR\r\n")
+	}
+	var sb []byte
+	for _, key := range fields[1:] {
+		value, flags, cas, ok := pc.store.Get(key, now)
+		if !ok {
+			continue
+		}
+		if withCAS {
+			sb = append(sb, fmt.Sprintf("VALUE %s %d %d %d\r\n", key, flags, len(value), cas)...)
+		} else {
+			sb = append(sb, fmt.Sprintf("VALUE %s %d %d\r\n", key, flags, len(value))...)
+		}
+		sb = append(sb, value...)
+		sb = append(sb, '\r', '\n')
+	}
+	sb = append(sb, "END\r\n"...)
+	_, err := pc.w.Write(sb)
+	return err
+}
+
+func (pc *ProtoConn) cmdStore(fields []string, now simnet.Time) error {
+	op := fields[0]
+	want := 5
+	if op == "cas" {
+		want = 6
+	}
+	noreply := len(fields) == want+1 && fields[want] == "noreply"
+	if len(fields) < want || (len(fields) > want && !noreply) {
+		return pc.reply("ERROR\r\n")
+	}
+	key := fields[1]
+	flags64, err1 := strconv.ParseUint(fields[2], 10, 32)
+	exptime, err2 := strconv.ParseInt(fields[3], 10, 64)
+	nbytes, err3 := strconv.Atoi(fields[4])
+	var casID uint64
+	var err4 error
+	if op == "cas" {
+		casID, err4 = strconv.ParseUint(fields[5], 10, 64)
+	}
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 || len(key) > 250 {
+		// Protocol rule: the data block still follows; consume it to
+		// stay in sync, then report.
+		if err3 == nil && nbytes >= 0 {
+			pc.discard(nbytes + 2)
+		}
+		return pc.reply("CLIENT_ERROR bad command line format\r\n")
+	}
+	value := make([]byte, nbytes)
+	if _, err := io.ReadFull(pc.r, value); err != nil {
+		return err
+	}
+	crlf := make([]byte, 2)
+	if _, err := io.ReadFull(pc.r, crlf); err != nil {
+		return err
+	}
+	if crlf[0] != '\r' || crlf[1] != '\n' {
+		return pc.reply("CLIENT_ERROR bad data chunk\r\n")
+	}
+
+	var res StoreResult
+	flags := uint32(flags64)
+	switch op {
+	case "set":
+		res = pc.store.Set(key, flags, exptime, value, now)
+	case "add":
+		res = pc.store.Add(key, flags, exptime, value, now)
+	case "replace":
+		res = pc.store.Replace(key, flags, exptime, value, now)
+	case "append":
+		res = pc.store.Append(key, value, now)
+	case "prepend":
+		res = pc.store.Prepend(key, value, now)
+	case "cas":
+		res = pc.store.Cas(key, flags, exptime, value, casID, now)
+	}
+	if noreply {
+		return nil
+	}
+	return pc.reply(res.String() + "\r\n")
+}
+
+func (pc *ProtoConn) discard(n int) {
+	if n > 0 {
+		io.CopyN(io.Discard, pc.r, int64(n))
+	}
+}
+
+func (pc *ProtoConn) cmdDelete(fields []string, now simnet.Time) error {
+	if len(fields) < 2 {
+		return pc.reply("ERROR\r\n")
+	}
+	noreply := len(fields) == 3 && fields[2] == "noreply"
+	ok := pc.store.Delete(fields[1], now)
+	if noreply {
+		return nil
+	}
+	if ok {
+		return pc.reply("DELETED\r\n")
+	}
+	return pc.reply("NOT_FOUND\r\n")
+}
+
+func (pc *ProtoConn) cmdIncrDecr(fields []string, now simnet.Time) error {
+	if len(fields) < 3 {
+		return pc.reply("ERROR\r\n")
+	}
+	noreply := len(fields) == 4 && fields[3] == "noreply"
+	delta, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return pc.reply("CLIENT_ERROR invalid numeric delta argument\r\n")
+	}
+	val, found, bad := pc.store.IncrDecr(fields[1], delta, fields[0] == "incr", now)
+	if noreply {
+		return nil
+	}
+	switch {
+	case !found:
+		return pc.reply("NOT_FOUND\r\n")
+	case bad:
+		return pc.reply("CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+	default:
+		return pc.reply(strconv.FormatUint(val, 10) + "\r\n")
+	}
+}
+
+func (pc *ProtoConn) cmdTouch(fields []string, now simnet.Time) error {
+	if len(fields) < 3 {
+		return pc.reply("ERROR\r\n")
+	}
+	exptime, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return pc.reply("CLIENT_ERROR bad command line format\r\n")
+	}
+	if pc.store.Touch(fields[1], exptime, now) {
+		return pc.reply("TOUCHED\r\n")
+	}
+	return pc.reply("NOT_FOUND\r\n")
+}
+
+func (pc *ProtoConn) cmdStats(fields []string) error {
+	if len(fields) > 1 {
+		switch fields[1] {
+		case "slabs":
+			return pc.cmdStatsSlabs()
+		case "items":
+			return pc.cmdStatsItems()
+		case "settings":
+			return pc.cmdStatsSettings()
+		default:
+			return pc.reply("ERROR\r\n")
+		}
+	}
+	st := pc.store.Stats()
+	lines := []struct {
+		name string
+		val  uint64
+	}{
+		{"cmd_get", st.CmdGet},
+		{"cmd_set", st.CmdSet},
+		{"get_hits", st.GetHits},
+		{"get_misses", st.GetMisses},
+		{"delete_hits", st.DeleteHits},
+		{"delete_misses", st.DeleteMisses},
+		{"incr_hits", st.IncrHits},
+		{"incr_misses", st.IncrMisses},
+		{"decr_hits", st.DecrHits},
+		{"decr_misses", st.DecrMisses},
+		{"cas_hits", st.CasHits},
+		{"cas_misses", st.CasMisses},
+		{"cas_badval", st.CasBadval},
+		{"evictions", st.Evictions},
+		{"expired", st.Expired},
+		{"curr_items", st.CurrItems},
+		{"total_items", st.TotalItems},
+		{"bytes", st.Bytes},
+		{"limit_maxbytes", st.LimitMaxBytes},
+	}
+	var sb strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&sb, "STAT %s %d\r\n", l.name, l.val)
+	}
+	sb.WriteString("END\r\n")
+	return pc.reply(sb.String())
+}
+
+// cmdStatsSlabs reports per-class slab occupancy (memcached's
+// `stats slabs`: only classes with pages appear).
+func (pc *ProtoConn) cmdStatsSlabs() error {
+	a := pc.store.Arena()
+	var sb strings.Builder
+	totalPages := 0
+	for i := 0; i < a.NumClasses(); i++ {
+		pages := a.ClassPages(i)
+		if pages == 0 {
+			continue
+		}
+		totalPages += pages
+		perPage := slabPageSize / a.ClassSize(i)
+		total := pages * perPage
+		free := a.FreeChunks(i)
+		fmt.Fprintf(&sb, "STAT %d:chunk_size %d\r\n", i+1, a.ClassSize(i))
+		fmt.Fprintf(&sb, "STAT %d:chunks_per_page %d\r\n", i+1, perPage)
+		fmt.Fprintf(&sb, "STAT %d:total_pages %d\r\n", i+1, pages)
+		fmt.Fprintf(&sb, "STAT %d:total_chunks %d\r\n", i+1, total)
+		fmt.Fprintf(&sb, "STAT %d:used_chunks %d\r\n", i+1, total-free)
+		fmt.Fprintf(&sb, "STAT %d:free_chunks %d\r\n", i+1, free)
+	}
+	fmt.Fprintf(&sb, "STAT active_slabs %d\r\n", totalPages)
+	fmt.Fprintf(&sb, "STAT total_malloced %d\r\n", a.UsedBytes())
+	sb.WriteString("END\r\n")
+	return pc.reply(sb.String())
+}
+
+// cmdStatsItems reports per-class item counts (`stats items`).
+func (pc *ProtoConn) cmdStatsItems() error {
+	a := pc.store.Arena()
+	var sb strings.Builder
+	pc.store.mu.Lock()
+	for i := 0; i < a.NumClasses(); i++ {
+		n := a.ClassItems(i)
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "STAT items:%d:number %d\r\n", i+1, n)
+	}
+	pc.store.mu.Unlock()
+	sb.WriteString("END\r\n")
+	return pc.reply(sb.String())
+}
+
+// cmdStatsSettings reports the engine's effective limits.
+func (pc *ProtoConn) cmdStatsSettings() error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "STAT maxbytes %d\r\n", pc.store.Stats().LimitMaxBytes)
+	fmt.Fprintf(&sb, "STAT evictions %s\r\n", onOff(pc.store.evictions))
+	fmt.Fprintf(&sb, "STAT item_size_max %d\r\n", pc.store.Arena().ClassSize(pc.store.Arena().NumClasses()-1))
+	sb.WriteString("END\r\n")
+	return pc.reply(sb.String())
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

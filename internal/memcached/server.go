@@ -1,0 +1,409 @@
+package memcached
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/sockstream"
+	"repro/internal/ucr"
+	"repro/internal/verbs"
+)
+
+// ServerConfig tunes the server process.
+type ServerConfig struct {
+	// Workers is the number of worker threads (memcached -t; default 4).
+	Workers int
+	// Store sizes the cache engine.
+	Store StoreConfig
+	// DispatchCost is the libevent notification + thread wakeup charged
+	// per sockets-path request event. The UCR path polls its CQ instead
+	// and pays only the (cheaper) poll/handler costs — one of the
+	// structural advantages the paper measures.
+	DispatchCost simnet.Duration
+	// OpCost is the command-processing cost (parse, hash, LRU) charged
+	// per operation on both paths.
+	OpCost simnet.Duration
+	// UCREvents switches the UCR workers from CQ polling to interrupt-
+	// style events (ablation: §II-A1 — polling gives the lowest latency).
+	UCREvents bool
+	// AcceptRealCap bounds listener waits in real time (shutdown knob).
+	AcceptRealCap time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.AcceptRealCap <= 0 {
+		c.AcceptRealCap = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the memcached process: one engine, a dispatcher, and a set
+// of worker threads that serve both sockets and UCR clients (§V-A keeps
+// the server compatible with both kinds at once).
+type Server struct {
+	cfg   ServerConfig
+	store *Store
+
+	workers []*worker
+	nextW   atomic.Uint64
+
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	stopCh  chan struct{}
+
+	connMu sync.Mutex
+	conns  []*connState
+
+	sockLis []*sockstream.Listener
+	ucrLis  *ucr.Listener
+	ucrRT   *ucr.Runtime
+	// ctxOwner maps each worker's progress context back to its worker
+	// for AM handler dispatch (read-only after ServeUCR).
+	ctxOwner map[*ucr.Context]*worker
+
+	// OpsServed counts completed requests across workers.
+	OpsServed atomic.Uint64
+}
+
+// event kinds delivered to workers.
+type eventKind uint8
+
+const (
+	evSockRequest eventKind = iota
+	evSockClosed
+	evUCRReady
+	evUCRAccept
+	evStop
+)
+
+type workEvent struct {
+	kind eventKind
+	cs   *connState
+	req  any // *verbs.ConnRequest for evUCRAccept
+	ack  chan struct{}
+}
+
+// connState is one sockets client connection.
+type connState struct {
+	conn   *sockstream.Conn
+	proto  *ProtoConn
+	worker *worker
+	closed bool
+	ack    chan struct{}
+}
+
+// worker is one server thread.
+type worker struct {
+	id     int
+	srv    *Server
+	clk    *simnet.VClock
+	queue  *simnet.Mailbox[workEvent]
+	ctx    *ucr.Context // non-nil when the UCR frontend is up
+	ucrAck chan struct{}
+
+	// pendingSets maps an endpoint to its in-flight Set states
+	// (between the Set header handler and its completion handler).
+	pendingSets map[*ucr.Endpoint][]setPending
+	// pendingPins are pinned items whose reply transfer may still be in
+	// flight; swept once the origin counter fires.
+	pendingPins []pendingPin
+
+	scratch []byte // fallback buffer when allocation fails
+}
+
+type pendingPin struct {
+	ctr  *ucr.Counter
+	item *Item
+}
+
+// NewServer builds a server with a fresh store.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, store: NewStore(cfg.Store), stopCh: make(chan struct{})}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:          i,
+			srv:         s,
+			clk:         simnet.NewVClock(0),
+			queue:       simnet.NewMailbox[workEvent](),
+			ucrAck:      make(chan struct{}),
+			pendingSets: make(map[*ucr.Endpoint][]setPending),
+		}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.run()
+		}()
+	}
+	return s
+}
+
+// Store exposes the engine (stats, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Workers reports the worker count.
+func (s *Server) Workers() int { return len(s.workers) }
+
+// pickWorker assigns connections round-robin (§V-A).
+func (s *Server) pickWorker() *worker {
+	n := s.nextW.Add(1) - 1
+	return s.workers[int(n)%len(s.workers)]
+}
+
+// UCRRecvBufferBytes totals the UCR receive-buffer memory across the
+// workers' progress contexts (the §VII SRQ-vs-windows footprint).
+func (s *Server) UCRRecvBufferBytes() int64 {
+	var total int64
+	for _, w := range s.workers {
+		if w.ctx != nil {
+			total += w.ctx.RecvBufferBytes()
+		}
+	}
+	return total
+}
+
+// WorkerClocks reports each worker's current virtual time (benchmarks
+// use the max as the server-side makespan).
+func (s *Server) WorkerClocks() []simnet.Time {
+	out := make([]simnet.Time, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.clk.Now()
+	}
+	return out
+}
+
+// ServeSockets starts the sockets frontend on the given listener. The
+// dispatcher goroutine owns the accept loop; each accepted connection
+// is assigned to a worker and gets a waker goroutine that turns stream
+// readability into worker events (the libevent model, §V-A).
+func (s *Server) ServeSockets(lis *sockstream.Listener) {
+	s.sockLis = append(s.sockLis, lis)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		dispClk := simnet.NewVClock(0)
+		for !s.stopped.Load() {
+			conn, ok := lis.AcceptTimeout(dispClk, s.cfg.AcceptRealCap)
+			if !ok {
+				if s.stopped.Load() {
+					return
+				}
+				continue
+			}
+			w := s.pickWorker()
+			conn.NoDelay = true
+			conn.SetClock(w.clk)
+			cs := &connState{
+				conn:   conn,
+				proto:  NewProtoConn(conn, s.store),
+				worker: w,
+				ack:    make(chan struct{}),
+			}
+			s.connMu.Lock()
+			s.conns = append(s.conns, cs)
+			s.connMu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.connWaker(cs)
+			}()
+		}
+	}()
+}
+
+// connWaker parks on readability and hands the connection to its worker
+// one request burst at a time. Waker and worker are strictly sequenced
+// through the ack channel, so the conn is never touched concurrently.
+func (s *Server) connWaker(cs *connState) {
+	for {
+		if !cs.conn.WaitReadable() {
+			cs.worker.queue.Put(workEvent{kind: evSockClosed, cs: cs})
+			return
+		}
+		cs.worker.queue.Put(workEvent{kind: evSockRequest, cs: cs, ack: cs.ack})
+		select {
+		case <-cs.ack:
+		case <-s.stopCh:
+			return
+		}
+		if cs.closed {
+			return
+		}
+	}
+}
+
+// ServeUCR starts the UCR frontend: handlers are registered on rt, each
+// worker gets a progress context, and the dispatcher assigns inbound
+// endpoints round-robin.
+func (s *Server) ServeUCR(rt *ucr.Runtime, service string) error {
+	s.ucrRT = rt
+	s.registerAMHandlers(rt)
+	s.ctxOwner = make(map[*ucr.Context]*worker, len(s.workers))
+	for _, w := range s.workers {
+		w.ctx = rt.NewContext()
+		w.ctx.UseEvents(s.cfg.UCREvents)
+		s.ctxOwner[w.ctx] = w
+		// Per-worker CQ waker: turns completions into worker events.
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			for w.ctx.WaitIncoming() {
+				w.queue.Put(workEvent{kind: evUCRReady, ack: w.ucrAck})
+				select {
+				case <-w.ucrAck:
+				case <-s.stopCh:
+					return
+				}
+			}
+		}(w)
+	}
+	lis, err := rt.Listen(service)
+	if err != nil {
+		return err
+	}
+	s.ucrLis = lis
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		dispClk := simnet.NewVClock(0)
+		for !s.stopped.Load() {
+			req, ok := lis.Next(dispClk, s.cfg.AcceptRealCap)
+			if !ok {
+				if s.stopped.Load() {
+					return
+				}
+				continue
+			}
+			w := s.pickWorker()
+			ack := make(chan struct{})
+			w.queue.Put(workEvent{kind: evUCRAccept, req: req, ack: ack})
+			select {
+			case <-ack:
+			case <-s.stopCh:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Close shuts the server down: listeners stop, connections close (waking
+// their wakers), workers drain and exit (each destroying its own UCR
+// context, which releases that context's CQ waker).
+func (s *Server) Close() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	close(s.stopCh)
+	for _, lis := range s.sockLis {
+		lis.Close()
+	}
+	if s.ucrLis != nil {
+		s.ucrLis.Close()
+	}
+	s.connMu.Lock()
+	conns := s.conns
+	s.connMu.Unlock()
+	for _, cs := range conns {
+		cs.conn.Close()
+	}
+	for _, w := range s.workers {
+		w.queue.Put(workEvent{kind: evStop})
+	}
+	s.wg.Wait()
+}
+
+// run is the worker main loop.
+func (w *worker) run() {
+	defer func() {
+		if w.ctx != nil {
+			w.ctx.Destroy()
+		}
+	}()
+	for {
+		ev, ok := w.queue.Recv()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evStop:
+			return
+		case evSockRequest:
+			w.handleSockRequest(ev)
+		case evSockClosed:
+			ev.cs.conn.Close()
+		case evUCRAccept:
+			w.handleUCRAccept(ev)
+		case evUCRReady:
+			w.handleUCRReady(ev)
+		}
+	}
+}
+
+// handleSockRequest serves every request already buffered on the
+// connection (one event notification can harvest a pipelined burst).
+func (w *worker) handleSockRequest(ev workEvent) {
+	cs := ev.cs
+	w.clk.Advance(w.srv.cfg.DispatchCost)
+	for {
+		quit, err := cs.proto.ServeOne(w.clk)
+		if err != nil || quit {
+			cs.closed = true
+			cs.conn.Close()
+			break
+		}
+		w.srv.OpsServed.Add(1)
+		w.clk.Advance(w.srv.cfg.OpCost)
+		if cs.proto.Buffered() == 0 && cs.conn.Buffered() == 0 {
+			break
+		}
+	}
+	w.ack(ev)
+}
+
+// handleUCRAccept completes an endpoint into this worker's context.
+func (w *worker) handleUCRAccept(ev workEvent) {
+	req := ev.req.(*verbs.ConnRequest)
+	if _, err := w.ctx.Accept(req, w.clk); err != nil {
+		req.Reject(err)
+	}
+	w.ack(ev)
+}
+
+// handleUCRReady drains the context's pending completions, then sweeps
+// finished reply pins.
+func (w *worker) handleUCRReady(ev workEvent) {
+	for w.ctx.TryProgress(w.clk) {
+	}
+	w.sweepPins()
+	w.ack(ev)
+}
+
+// ack releases the waker that delivered ev, without deadlocking against
+// a waker that already exited at shutdown.
+func (w *worker) ack(ev workEvent) {
+	select {
+	case ev.ack <- struct{}{}:
+	case <-w.srv.stopCh:
+	}
+}
+
+// sweepPins unpins items whose reply transfer has completed.
+func (w *worker) sweepPins() {
+	keep := w.pendingPins[:0]
+	for _, p := range w.pendingPins {
+		if p.ctr.Value() > 0 {
+			w.srv.store.Unpin(p.item)
+			w.srv.ucrRT.FreeCounter(p.ctr)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	w.pendingPins = keep
+}

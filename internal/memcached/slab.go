@@ -1,0 +1,214 @@
+package memcached
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Slab allocation constants, matching memcached 1.4-era defaults.
+const (
+	// slabPageSize is the unit of memory the arena grabs at a time.
+	slabPageSize = 1 << 20
+	// minChunkSize is the smallest chunk class.
+	minChunkSize = 96
+	// growthFactor is the chunk-size ratio between adjacent classes.
+	growthFactor = 1.25
+	// chunkAlign keeps chunk sizes 8-byte aligned.
+	chunkAlign = 8
+)
+
+// ErrNoMemory is returned when the arena is exhausted and eviction is
+// disabled or found nothing evictable.
+var ErrNoMemory = errors.New("memcached: out of memory storing object")
+
+// chunk names one allocation: a byte range within a slab page.
+type chunk struct {
+	class int
+	buf   []byte // full chunk capacity
+}
+
+func (c chunk) valid() bool { return c.buf != nil }
+
+// slabClass is one size class: its chunk size and free list.
+type slabClass struct {
+	size  int
+	free  []chunk
+	pages int
+
+	// lruHead/lruTail: most/least recently used items of this class.
+	lruHead, lruTail *Item
+}
+
+// SlabArena is the memcached slab allocator: memory is grabbed in 1 MB
+// pages, each page is assigned to a size class and carved into equal
+// chunks. Freed chunks return to their class's free list — classes never
+// shrink (the fragmentation behaviour the paper's related-work section
+// points out makes client-side address caching unsafe).
+type SlabArena struct {
+	classes    []slabClass
+	limitBytes int64
+	usedBytes  int64
+}
+
+// NewSlabArena builds an arena with the given memory limit and the
+// default class geometry. maxItemSize bounds the largest chunk class
+// (memcached's 1 MB item limit).
+func NewSlabArena(limitBytes int64, maxItemSize int) *SlabArena {
+	if maxItemSize <= 0 || maxItemSize > slabPageSize {
+		maxItemSize = slabPageSize
+	}
+	a := &SlabArena{limitBytes: limitBytes}
+	size := minChunkSize
+	for size < maxItemSize {
+		a.classes = append(a.classes, slabClass{size: size})
+		next := int(float64(size) * growthFactor)
+		next = (next + chunkAlign - 1) / chunkAlign * chunkAlign
+		if next <= size {
+			next = size + chunkAlign
+		}
+		size = next
+	}
+	a.classes = append(a.classes, slabClass{size: maxItemSize})
+	return a
+}
+
+// NumClasses reports the number of size classes.
+func (a *SlabArena) NumClasses() int { return len(a.classes) }
+
+// ClassSize reports the chunk size of class i.
+func (a *SlabArena) ClassSize(i int) int { return a.classes[i].size }
+
+// ClassFor picks the smallest class whose chunks fit n bytes.
+// ok=false means n exceeds the largest class (item too large).
+func (a *SlabArena) ClassFor(n int) (int, bool) {
+	// Classes grow geometrically; binary search.
+	lo, hi := 0, len(a.classes)-1
+	if n > a.classes[hi].size {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.classes[mid].size < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// UsedBytes reports bytes of pages grabbed from the limit.
+func (a *SlabArena) UsedBytes() int64 { return a.usedBytes }
+
+// LimitBytes reports the configured cap.
+func (a *SlabArena) LimitBytes() int64 { return a.limitBytes }
+
+// Alloc takes a chunk that fits n bytes. It does not evict; the store
+// layer owns eviction policy. ErrNoMemory means "free a chunk first".
+func (a *SlabArena) Alloc(n int) (chunk, error) {
+	ci, ok := a.ClassFor(n)
+	if !ok {
+		return chunk{}, fmt.Errorf("memcached: object too large for cache (%d bytes)", n)
+	}
+	cl := &a.classes[ci]
+	if len(cl.free) == 0 {
+		if err := a.growClass(ci); err != nil {
+			return chunk{}, err
+		}
+	}
+	c := cl.free[len(cl.free)-1]
+	cl.free = cl.free[:len(cl.free)-1]
+	return c, nil
+}
+
+// growClass grabs a page for class ci and carves it.
+func (a *SlabArena) growClass(ci int) error {
+	if a.usedBytes+slabPageSize > a.limitBytes {
+		return ErrNoMemory
+	}
+	a.usedBytes += slabPageSize
+	cl := &a.classes[ci]
+	cl.pages++
+	page := make([]byte, slabPageSize)
+	for off := 0; off+cl.size <= slabPageSize; off += cl.size {
+		cl.free = append(cl.free, chunk{class: ci, buf: page[off : off+cl.size : off+cl.size]})
+	}
+	return nil
+}
+
+// Free returns a chunk to its class.
+func (a *SlabArena) Free(c chunk) {
+	if !c.valid() {
+		return
+	}
+	cl := &a.classes[c.class]
+	cl.free = append(cl.free, c)
+}
+
+// FreeChunks reports free chunks in class i (for tests/stats).
+func (a *SlabArena) FreeChunks(i int) int { return len(a.classes[i].free) }
+
+// ClassPages reports pages assigned to class i.
+func (a *SlabArena) ClassPages(i int) int { return a.classes[i].pages }
+
+// ClassItems reports linked items in class i (an LRU walk; stats path).
+func (a *SlabArena) ClassItems(i int) int {
+	n := 0
+	for it := a.classes[i].lruHead; it != nil; it = it.lnext {
+		n++
+	}
+	return n
+}
+
+// lruInsert puts it at the head (most recent) of its class list.
+func (a *SlabArena) lruInsert(it *Item) {
+	cl := &a.classes[it.chunk.class]
+	it.lprev = nil
+	it.lnext = cl.lruHead
+	if cl.lruHead != nil {
+		cl.lruHead.lprev = it
+	}
+	cl.lruHead = it
+	if cl.lruTail == nil {
+		cl.lruTail = it
+	}
+}
+
+// lruRemove unlinks it from its class list.
+func (a *SlabArena) lruRemove(it *Item) {
+	cl := &a.classes[it.chunk.class]
+	if it.lprev != nil {
+		it.lprev.lnext = it.lnext
+	} else if cl.lruHead == it {
+		cl.lruHead = it.lnext
+	}
+	if it.lnext != nil {
+		it.lnext.lprev = it.lprev
+	} else if cl.lruTail == it {
+		cl.lruTail = it.lprev
+	}
+	it.lprev, it.lnext = nil, nil
+}
+
+// lruTouch moves it to the head of its class list.
+func (a *SlabArena) lruTouch(it *Item) {
+	a.lruRemove(it)
+	a.lruInsert(it)
+}
+
+// lruVictim walks up to maxTries items from the tail of the class that
+// would hold n bytes, returning the first unpinned candidate.
+func (a *SlabArena) lruVictim(n, maxTries int) *Item {
+	ci, ok := a.ClassFor(n)
+	if !ok {
+		return nil
+	}
+	it := a.classes[ci].lruTail
+	for tries := 0; it != nil && tries < maxTries; tries++ {
+		if !it.pinned() {
+			return it
+		}
+		it = it.lprev
+	}
+	return nil
+}

@@ -1,0 +1,533 @@
+package memcached
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// StoreResult is the outcome of a conditional storage command.
+type StoreResult int
+
+// Storage command outcomes, mapping 1:1 to protocol replies.
+const (
+	Stored StoreResult = iota
+	NotStored
+	Exists
+	NotFound
+	TooLarge
+	OOM
+)
+
+func (r StoreResult) String() string {
+	switch r {
+	case Stored:
+		return "STORED"
+	case NotStored:
+		return "NOT_STORED"
+	case Exists:
+		return "EXISTS"
+	case NotFound:
+		return "NOT_FOUND"
+	case TooLarge:
+		return "SERVER_ERROR object too large for cache"
+	default:
+		return "SERVER_ERROR out of memory storing object"
+	}
+}
+
+// Stats is a snapshot of engine counters (a subset of `stats`).
+type Stats struct {
+	CmdGet, CmdSet                             uint64
+	GetHits, GetMisses                         uint64
+	DeleteHits, DeleteMisses                   uint64
+	IncrHits, IncrMisses, DecrHits, DecrMisses uint64
+	CasHits, CasMisses, CasBadval              uint64
+	TouchHits, TouchMisses                     uint64
+	Evictions, Expired                         uint64
+	CurrItems, TotalItems                      uint64
+	Bytes                                      uint64
+	LimitMaxBytes                              uint64
+}
+
+// itemOverhead models memcached's per-item header in chunk sizing.
+const itemOverhead = 48
+
+// evictionTries bounds the LRU tail walk, like memcached's tries=50.
+const evictionTries = 50
+
+// maxRelativeExpiry matches memcached: expiry values up to 30 days are
+// relative seconds; larger values are absolute (here: absolute virtual
+// seconds since simulation start).
+const maxRelativeExpiry = 60 * 60 * 24 * 30
+
+// Store is the cache engine: slab arena + hash table + LRU + stats under
+// one lock (the global cache lock of the memcached generation the paper
+// modified).
+type Store struct {
+	mu          sync.Mutex
+	arena       *SlabArena
+	table       *hashTable
+	casCounter  uint64
+	flushBefore simnet.Time
+	stats       Stats
+	evictions   bool
+}
+
+// StoreConfig sizes a Store.
+type StoreConfig struct {
+	// MemoryLimit is the slab arena cap in bytes (memcached -m).
+	MemoryLimit int64
+	// MaxItemSize caps one item (memcached -I; default 1 MB).
+	MaxItemSize int
+	// DisableEvictions makes the store error instead of evicting
+	// (memcached -M).
+	DisableEvictions bool
+}
+
+// NewStore builds an engine with the given limits. A zero MemoryLimit
+// gets memcached's default of 64 MB.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.MemoryLimit <= 0 {
+		cfg.MemoryLimit = 64 << 20
+	}
+	s := &Store{
+		arena:     NewSlabArena(cfg.MemoryLimit, cfg.MaxItemSize),
+		table:     newHashTable(),
+		evictions: !cfg.DisableEvictions,
+	}
+	s.stats.LimitMaxBytes = uint64(cfg.MemoryLimit)
+	return s
+}
+
+// expiryTime converts a protocol exptime to an absolute virtual time.
+func expiryTime(exptime int64, now simnet.Time) simnet.Time {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime <= maxRelativeExpiry:
+		return now + simnet.Time(exptime)*simnet.Second
+	default:
+		return simnet.Time(exptime) * simnet.Second
+	}
+}
+
+// lookupLocked finds a live item, lazily reaping an expired one.
+func (s *Store) lookupLocked(key string, now simnet.Time) *Item {
+	it := s.table.Get(key)
+	if it == nil {
+		return nil
+	}
+	if it.expired(now, s.flushBefore) {
+		s.stats.Expired++
+		s.unlinkLocked(it)
+		return nil
+	}
+	return it
+}
+
+// unlinkLocked removes an item from table and LRU, freeing its chunk
+// unless a transfer still pins it (the chunk is then freed at Unpin).
+func (s *Store) unlinkLocked(it *Item) {
+	if it.linked {
+		s.table.Delete(it.key)
+	}
+	s.arena.lruRemove(it)
+	s.stats.Bytes -= uint64(len(it.key) + len(it.value))
+	s.stats.CurrItems--
+	if !it.pinned() {
+		s.arena.Free(it.chunk)
+	}
+}
+
+// allocLocked grabs a chunk, evicting LRU victims as needed.
+func (s *Store) allocLocked(n int) (chunk, StoreResult) {
+	for {
+		c, err := s.arena.Alloc(n)
+		if err == nil {
+			return c, Stored
+		}
+		if err != ErrNoMemory {
+			return chunk{}, TooLarge
+		}
+		if !s.evictions {
+			return chunk{}, OOM
+		}
+		victim := s.arena.lruVictim(n, evictionTries)
+		if victim == nil {
+			return chunk{}, OOM
+		}
+		s.stats.Evictions++
+		s.unlinkLocked(victim)
+	}
+}
+
+// newItemLocked allocates and fills an unlinked item.
+func (s *Store) newItemLocked(key string, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
+	c, res := s.allocLocked(len(key) + valueLen + itemOverhead)
+	if res != Stored {
+		return nil, res
+	}
+	copy(c.buf, key)
+	s.casCounter++
+	it := &Item{
+		key:      key,
+		value:    c.buf[len(key) : len(key)+valueLen],
+		chunk:    c,
+		flags:    flags,
+		expireAt: expiryTime(exptime, now),
+		casID:    s.casCounter,
+		setAt:    now,
+	}
+	return it, Stored
+}
+
+// linkLocked commits an item, replacing any existing entry for the key.
+func (s *Store) linkLocked(it *Item, now simnet.Time) {
+	if old := s.table.Get(it.key); old != nil {
+		s.unlinkLocked(old)
+	}
+	s.table.Put(it)
+	s.arena.lruInsert(it)
+	s.stats.Bytes += uint64(len(it.key) + len(it.value))
+	s.stats.CurrItems++
+	s.stats.TotalItems++
+}
+
+// AllocateItem reserves an unlinked item whose value buffer the caller
+// fills before CommitItem — the UCR Set path lands the client's RDMA-
+// read value directly in this slab memory (§V-B).
+func (s *Store) AllocateItem(key string, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, res := s.newItemLocked(key, flags, exptime, valueLen, now)
+	if res == Stored {
+		it.refcount++ // pinned until commit/abort
+	}
+	return it, res
+}
+
+// CommitItem links a previously allocated item.
+func (s *Store) CommitItem(it *Item, now simnet.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it.refcount--
+	s.stats.CmdSet++
+	s.linkLocked(it, now)
+}
+
+// AbortItem releases an allocated-but-uncommitted item.
+func (s *Store) AbortItem(it *Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it.refcount--
+	if !it.pinned() {
+		s.arena.Free(it.chunk)
+	}
+}
+
+// Set unconditionally stores key=value.
+func (s *Store) Set(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	it, res := s.newItemLocked(key, flags, exptime, len(value), now)
+	if res != Stored {
+		return res
+	}
+	copy(it.value, value)
+	s.linkLocked(it, now)
+	return Stored
+}
+
+// Add stores only if the key is absent.
+func (s *Store) Add(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	if s.lookupLocked(key, now) != nil {
+		return NotStored
+	}
+	return s.setLocked(key, flags, exptime, value, now)
+}
+
+// Replace stores only if the key is present.
+func (s *Store) Replace(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	if s.lookupLocked(key, now) == nil {
+		return NotStored
+	}
+	return s.setLocked(key, flags, exptime, value, now)
+}
+
+// Cas stores only if the entry's CAS id still matches.
+func (s *Store) Cas(key string, flags uint32, exptime int64, value []byte, casID uint64, now simnet.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	it := s.lookupLocked(key, now)
+	if it == nil {
+		s.stats.CasMisses++
+		return NotFound
+	}
+	if it.casID != casID {
+		s.stats.CasBadval++
+		return Exists
+	}
+	s.stats.CasHits++
+	return s.setLocked(key, flags, exptime, value, now)
+}
+
+// setLocked is the shared unconditional-store tail.
+func (s *Store) setLocked(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
+	it, res := s.newItemLocked(key, flags, exptime, len(value), now)
+	if res != Stored {
+		return res
+	}
+	copy(it.value, value)
+	s.linkLocked(it, now)
+	return Stored
+}
+
+// concatLocked implements append/prepend.
+func (s *Store) concatLocked(key string, add []byte, prepend bool, now simnet.Time) StoreResult {
+	old := s.lookupLocked(key, now)
+	if old == nil {
+		return NotStored
+	}
+	it, res := s.newItemLocked(key, old.flags, 0, len(old.value)+len(add), now)
+	if res != Stored {
+		return res
+	}
+	it.expireAt = old.expireAt
+	if prepend {
+		copy(it.value, add)
+		copy(it.value[len(add):], old.value)
+	} else {
+		copy(it.value, old.value)
+		copy(it.value[len(old.value):], add)
+	}
+	s.linkLocked(it, now)
+	return Stored
+}
+
+// Append adds bytes after an existing value.
+func (s *Store) Append(key string, value []byte, now simnet.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	return s.concatLocked(key, value, false, now)
+}
+
+// Prepend adds bytes before an existing value.
+func (s *Store) Prepend(key string, value []byte, now simnet.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	return s.concatLocked(key, value, true, now)
+}
+
+// Get copies out the value for key. ok=false is a miss.
+func (s *Store) Get(key string, now simnet.Time) (value []byte, flags uint32, casID uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdGet++
+	it := s.lookupLocked(key, now)
+	if it == nil {
+		s.stats.GetMisses++
+		return nil, 0, 0, false
+	}
+	s.stats.GetHits++
+	s.arena.lruTouch(it)
+	out := make([]byte, len(it.value))
+	copy(out, it.value)
+	return out, it.flags, it.casID, true
+}
+
+// GetPinned returns the live item with its refcount raised, so its slab
+// memory stays valid while a reply transfer (possibly a client-issued
+// RDMA read) is in flight. The caller must Unpin.
+func (s *Store) GetPinned(key string, now simnet.Time) (*Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdGet++
+	it := s.lookupLocked(key, now)
+	if it == nil {
+		s.stats.GetMisses++
+		return nil, false
+	}
+	s.stats.GetHits++
+	s.arena.lruTouch(it)
+	it.refcount++
+	return it, true
+}
+
+// Unpin releases a GetPinned reference, freeing the chunk if the item
+// was unlinked (replaced/evicted/deleted) while pinned.
+func (s *Store) Unpin(it *Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it.refcount--
+	if !it.linked && !it.pinned() {
+		s.arena.Free(it.chunk)
+	}
+}
+
+// Delete removes key. ok=false is a miss.
+func (s *Store) Delete(key string, now simnet.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.lookupLocked(key, now)
+	if it == nil {
+		s.stats.DeleteMisses++
+		return false
+	}
+	s.stats.DeleteHits++
+	s.unlinkLocked(it)
+	return true
+}
+
+// IncrDecr adjusts a numeric value. badValue=true means the stored value
+// is not an unsigned number (protocol CLIENT_ERROR).
+func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (newVal uint64, found, badValue bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.lookupLocked(key, now)
+	if it == nil {
+		if incr {
+			s.stats.IncrMisses++
+		} else {
+			s.stats.DecrMisses++
+		}
+		return 0, false, false
+	}
+	cur, err := strconv.ParseUint(string(it.value), 10, 64)
+	if err != nil {
+		return 0, true, true
+	}
+	if incr {
+		s.stats.IncrHits++
+		cur += delta
+	} else {
+		s.stats.DecrHits++
+		if delta > cur {
+			cur = 0
+		} else {
+			cur -= delta
+		}
+	}
+	text := strconv.FormatUint(cur, 10)
+	if len(text) <= len(it.value) {
+		// Fits in place: memcached right-pads with spaces semantics are
+		// emulated by shrinking the value slice to the new length.
+		copy(it.value, text)
+		it.value = it.value[:len(text)]
+		s.casCounter++
+		it.casID = s.casCounter
+	} else {
+		flags, exp := it.flags, it.expireAt
+		nit, res := s.newItemLocked(key, flags, 0, len(text), now)
+		if res != Stored {
+			return 0, true, true
+		}
+		nit.expireAt = exp
+		copy(nit.value, text)
+		s.linkLocked(nit, now)
+	}
+	return cur, true, false
+}
+
+// Touch updates an item's expiry.
+func (s *Store) Touch(key string, exptime int64, now simnet.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.lookupLocked(key, now)
+	if it == nil {
+		s.stats.TouchMisses++
+		return false
+	}
+	s.stats.TouchHits++
+	it.expireAt = expiryTime(exptime, now)
+	return true
+}
+
+// FlushAll invalidates everything stored before now (lazy, like
+// memcached: items vanish on next access).
+func (s *Store) FlushAll(now simnet.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushBefore = now + 1
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CurrItems reports the live item count.
+func (s *Store) CurrItems() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.CurrItems
+}
+
+// Arena exposes the slab arena (tests, stats reporting).
+func (s *Store) Arena() *SlabArena { return s.arena }
+
+// SlabClassStat is one size class's occupancy snapshot.
+type SlabClassStat struct {
+	ClassID       int
+	ChunkSize     int
+	ChunksPerPage int
+	TotalPages    int
+	TotalChunks   int
+	UsedChunks    int
+	FreeChunks    int
+	Items         int
+}
+
+// SlabStats snapshots per-class occupancy for classes holding pages
+// (the data behind `stats slabs` and `stats items`).
+func (s *Store) SlabStats() (classes []SlabClassStat, totalMalloced int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.arena
+	for i := 0; i < a.NumClasses(); i++ {
+		pages := a.ClassPages(i)
+		if pages == 0 {
+			continue
+		}
+		perPage := slabPageSize / a.ClassSize(i)
+		total := pages * perPage
+		free := a.FreeChunks(i)
+		classes = append(classes, SlabClassStat{
+			ClassID:       i + 1,
+			ChunkSize:     a.ClassSize(i),
+			ChunksPerPage: perPage,
+			TotalPages:    pages,
+			TotalChunks:   total,
+			UsedChunks:    total - free,
+			FreeChunks:    free,
+			Items:         a.ClassItems(i),
+		})
+	}
+	return classes, a.UsedBytes()
+}
+
+// EvictionsEnabled reports whether the store evicts under pressure.
+func (s *Store) EvictionsEnabled() bool { return s.evictions }
+
+// MaxItemSize reports the largest storable object.
+func (s *Store) MaxItemSize() int { return s.arena.ClassSize(s.arena.NumClasses() - 1) }
+
+// HashExpanding reports whether the table is mid-expansion (tests).
+func (s *Store) HashExpanding() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Expanding()
+}

@@ -1,0 +1,222 @@
+package memcached
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/ucr"
+)
+
+// This file is the server half of the paper's §V design: Memcached
+// operations carried as UCR active messages.
+//
+// Set (§V-B): the client's AM 1 carries the set header plus the item
+// value. For large items the UCR rendezvous path has the *server* issue
+// an RDMA Read — and because the Set header handler allocates the item
+// first, the read lands the value directly in slab memory, no staging
+// copy. AM 2 returns the status, targeting the client's counter C.
+//
+// Get (§V-C): AM 1 carries the key and counter C. The item length is
+// unknown to the client beforehand; the server's AM 2 reply announces it,
+// the client's header handler allocates (from its buffer pool), and the
+// value travels eagerly (≤ 8 KB) or is RDMA-read by the client directly
+// from the pinned item's slab memory.
+
+// setPending carries state between the Set header and completion
+// handlers on one endpoint (FIFO; UCR delivers in order per endpoint).
+type setPending struct {
+	item     *Item
+	res      StoreResult
+	replyCtr ucr.CounterID
+}
+
+// workerFor resolves the worker owning an endpoint's progress context.
+func (s *Server) workerFor(ep *ucr.Endpoint) *worker {
+	return s.ctxOwner[ep.Context()]
+}
+
+// scratchBuf returns a throwaway landing buffer used when item
+// allocation failed but the transfer must still complete.
+func (w *worker) scratchBuf(n int) []byte {
+	if cap(w.scratch) < n {
+		w.scratch = make([]byte, n)
+	}
+	return w.scratch[:n]
+}
+
+// registerAMHandlers installs the §V protocol on the runtime.
+func (s *Server) registerAMHandlers(rt *ucr.Runtime) {
+	rt.RegisterHandler(AMSet, ucr.Handler{
+		Header:     s.amSetHeader,
+		Completion: s.amSetComplete,
+	})
+	rt.RegisterHandler(AMGet, ucr.Handler{
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Completion: s.amGetComplete,
+	})
+	rt.RegisterHandler(AMMGet, ucr.Handler{
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Completion: s.amMGetComplete,
+	})
+	rt.RegisterHandler(AMDelete, ucr.Handler{
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Completion: s.amDeleteComplete,
+	})
+	rt.RegisterHandler(AMIncr, ucr.Handler{
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Completion: s.amNumComplete(true),
+	})
+	rt.RegisterHandler(AMDecr, ucr.Handler{
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Completion: s.amNumComplete(false),
+	})
+}
+
+// amSetHeader identifies where the item will be stored — the paper's
+// "identifies where it wants to store the item. Then, it issues an RDMA
+// Read to that destination memory location" (§V-B).
+func (s *Server) amSetHeader(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+	w := s.workerFor(ep)
+	req, err := DecodeSetReq(hdr)
+	if err != nil {
+		w.pendingSets[ep] = append(w.pendingSets[ep], setPending{res: NotStored})
+		return w.scratchBuf(dataLen)
+	}
+	it, res := s.store.AllocateItem(req.Key, req.Flags, req.Exptime, dataLen, clk.Now())
+	if res != Stored {
+		w.pendingSets[ep] = append(w.pendingSets[ep], setPending{res: res, replyCtr: req.ReplyCtr})
+		return w.scratchBuf(dataLen)
+	}
+	w.pendingSets[ep] = append(w.pendingSets[ep], setPending{item: it, res: Stored, replyCtr: req.ReplyCtr})
+	return it.Value()
+}
+
+// amSetComplete commits the item and answers with AM 2 (§V-B).
+func (s *Server) amSetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+	w := s.workerFor(ep)
+	pend := w.pendingSets[ep]
+	if len(pend) == 0 {
+		return
+	}
+	p := pend[0]
+	if len(pend) == 1 {
+		delete(w.pendingSets, ep)
+	} else {
+		w.pendingSets[ep] = pend[1:]
+	}
+	clk.Advance(s.cfg.OpCost)
+	status := AMOK
+	if p.item != nil {
+		s.store.CommitItem(p.item, clk.Now())
+	} else {
+		status = AMError
+	}
+	s.OpsServed.Add(1)
+	if p.replyCtr == 0 {
+		return
+	}
+	reply := EncodeStatusReply(StatusReply{Status: status, Result: p.res})
+	_ = ep.Send(clk, AMSetReply, reply, nil, nil, p.replyCtr, nil)
+}
+
+// amGetComplete looks the item up and answers with AM 2 carrying the
+// value (§V-C). Large values stay pinned in slab memory until the
+// client's RDMA read completes (tracked by the reply's origin counter).
+func (s *Server) amGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+	w := s.workerFor(ep)
+	req, err := DecodeKeyReq(hdr)
+	if err != nil {
+		return
+	}
+	clk.Advance(s.cfg.OpCost)
+	s.OpsServed.Add(1)
+	it, ok := s.store.GetPinned(req.Key, clk.Now())
+	if !ok {
+		reply := EncodeGetReply(GetReply{Status: AMMiss})
+		_ = ep.Send(clk, AMGetReply, reply, nil, nil, req.ReplyCtr, nil)
+		return
+	}
+	reply := EncodeGetReply(GetReply{Status: AMOK, Flags: it.Flags(), CAS: it.CAS()})
+	if len(reply)+len(it.Value()) <= ep.MaxEager() {
+		// Eager: the value is packed into the reply transaction; the
+		// send path copies it out of slab memory, so unpin immediately.
+		_ = ep.Send(clk, AMGetReply, reply, it.Value(), nil, req.ReplyCtr, nil)
+		s.store.Unpin(it)
+		return
+	}
+	// Rendezvous: the client will RDMA-read straight from the item's
+	// chunk. Keep it pinned until the transfer's origin counter fires
+	// (directly addressing the corruption hazard the paper raises for
+	// designs that let clients read server memory unsupervised, §III).
+	ctr := s.ucrRT.NewCounter()
+	if err := ep.Send(clk, AMGetReply, reply, it.Value(), ctr, req.ReplyCtr, nil); err != nil {
+		s.store.Unpin(it)
+		s.ucrRT.FreeCounter(ctr)
+		return
+	}
+	w.pendingPins = append(w.pendingPins, pendingPin{ctr: ctr, item: it})
+}
+
+// amMGetComplete serves a whole key batch with one reply AM: per-item
+// metadata in the header, the values concatenated as the data block
+// (eager in one transaction when small, one client RDMA read when
+// large).
+func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+	req, err := DecodeMGetReq(hdr)
+	if err != nil {
+		return
+	}
+	reply := MGetReply{}
+	var values []byte
+	for _, key := range req.Keys {
+		clk.Advance(s.cfg.OpCost)
+		s.OpsServed.Add(1)
+		value, flags, cas, ok := s.store.Get(key, clk.Now())
+		if !ok {
+			continue
+		}
+		reply.Items = append(reply.Items, MGetItem{
+			Key: key, Flags: flags, CAS: cas, ValueLen: len(value),
+		})
+		values = append(values, value...)
+	}
+	// Assembling the concatenated block is a real copy.
+	clk.Advance(simnet.BytesDuration(len(values), s.ucrRT.Config().PackBytesPerSec))
+	_ = ep.Send(clk, AMMGetReply, EncodeMGetReply(reply), values, nil, ucr.CounterID(req.ReplyCtr), nil)
+}
+
+// amDeleteComplete serves delete.
+func (s *Server) amDeleteComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+	req, err := DecodeKeyReq(hdr)
+	if err != nil {
+		return
+	}
+	clk.Advance(s.cfg.OpCost)
+	s.OpsServed.Add(1)
+	status := AMMiss
+	if s.store.Delete(req.Key, clk.Now()) {
+		status = AMOK
+	}
+	reply := EncodeStatusReply(StatusReply{Status: status})
+	_ = ep.Send(clk, AMSetReply, reply, nil, nil, req.ReplyCtr, nil)
+}
+
+// amNumComplete serves incr/decr.
+func (s *Server) amNumComplete(incr bool) ucr.CompletionHandler {
+	return func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+		req, err := DecodeNumReq(hdr)
+		if err != nil {
+			return
+		}
+		clk.Advance(s.cfg.OpCost)
+		s.OpsServed.Add(1)
+		val, found, bad := s.store.IncrDecr(req.Key, req.Delta, incr, clk.Now())
+		status := AMOK
+		switch {
+		case !found:
+			status = AMMiss
+		case bad:
+			status = AMBadValue
+		}
+		reply := EncodeNumReply(NumReply{Status: status, Value: val})
+		_ = ep.Send(clk, AMNumReply, reply, nil, nil, req.ReplyCtr, nil)
+	}
+}

@@ -1,0 +1,145 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+)
+
+// Mailbox is an unbounded, closeable queue of timestamped messages. It is
+// the delivery mechanism shared by the transport layers: the sender
+// computes an arrival stamp with Fabric.Deliver and posts the real payload
+// here; the receiver blocks until something is present and then advances
+// its virtual clock to the stamp.
+//
+// The queue is unbounded on purpose: back-pressure in the simulated
+// system is modelled explicitly (verbs receive queues, UCR credits,
+// socket windows), not by accidental blocking of the in-process plumbing.
+type Mailbox[T any] struct {
+	mu     sync.Mutex
+	queue  []T
+	closed bool
+	notify chan struct{} // capacity 1, poked on every state change
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox[T any]() *Mailbox[T] {
+	return &Mailbox[T]{notify: make(chan struct{}, 1)}
+}
+
+func (m *Mailbox[T]) poke() {
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Put appends a message. Putting to a closed mailbox is a silent no-op
+// (the peer went away; the bytes fall on the floor, as on a real wire).
+func (m *Mailbox[T]) Put(msg T) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.poke()
+}
+
+// PutFront pushes a message back to the head of the queue. Receivers use
+// it to undo a TryRecv/Recv they were not yet entitled to (e.g. a segment
+// whose virtual arrival lies beyond the reader's deadline) without
+// scrambling FIFO order. Putting to a closed mailbox is a no-op.
+func (m *Mailbox[T]) PutFront(msg T) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append([]T{msg}, m.queue...)
+	m.mu.Unlock()
+	m.poke()
+}
+
+// TryRecv removes the head message if one is present.
+// ok=false means empty; closed reports whether the mailbox is closed.
+func (m *Mailbox[T]) TryRecv() (msg T, ok, closed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) > 0 {
+		msg = m.queue[0]
+		// Avoid retaining the element.
+		var zero T
+		m.queue[0] = zero
+		m.queue = m.queue[1:]
+		return msg, true, m.closed
+	}
+	return msg, false, m.closed
+}
+
+// Recv blocks until a message is available or the mailbox is closed and
+// drained. ok=false means closed-and-empty.
+func (m *Mailbox[T]) Recv() (msg T, ok bool) {
+	for {
+		msg, got, closed := m.TryRecv()
+		if got {
+			return msg, true
+		}
+		if closed {
+			return msg, false
+		}
+		<-m.notify
+	}
+}
+
+// RecvTimeout is Recv with a real-time cap, used only on failure paths:
+// if the peer is dead nothing will ever arrive, and virtual time cannot
+// advance by itself. ok=false with timedOut=true reports the cap fired.
+func (m *Mailbox[T]) RecvTimeout(d time.Duration) (msg T, ok, timedOut bool) {
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for {
+		msg, got, closed := m.TryRecv()
+		if got {
+			return msg, true, false
+		}
+		if closed {
+			return msg, false, false
+		}
+		select {
+		case <-m.notify:
+		case <-deadline.C:
+			return msg, false, true
+		}
+	}
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close marks the mailbox closed and wakes all waiters. Queued messages
+// remain receivable.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	// The notify channel is never closed (a racing Put's poke must stay
+	// safe); a single poke wakes the receiver, which observes the closed
+	// flag through TryRecv. Mailboxes have exactly one receiver.
+	m.poke()
+}
+
+// Closed reports whether Close has been called.
+func (m *Mailbox[T]) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}

@@ -1,0 +1,43 @@
+package simnet
+
+// Rand is a small deterministic PRNG (SplitMix64) used for modelled
+// jitter and for workload generation. It is deliberately not math/rand:
+// benchmark runs must be reproducible from a seed with no global state.
+//
+// Rand is not safe for concurrent use; give each actor its own.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed + 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("simnet: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform duration in [0, max).
+func (r *Rand) Duration(max Duration) Duration {
+	if max <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(max))
+}

@@ -1,0 +1,461 @@
+package ucr
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/verbs"
+)
+
+// Context is a progress context: the unit of single-threaded progress in
+// UCR. Each actor (benchmark client, Memcached worker thread) owns one
+// Context; all endpoints created under it share one completion queue, so
+// the owner drives every endpoint by calling Progress / WaitCounter.
+// A Context and its endpoints must only be touched by their owner.
+type Context struct {
+	rt *Runtime
+	cq *verbs.CQ
+
+	eps             map[uint32]*Endpoint // local QPN → endpoint
+	srq             *verbs.SRQ           // shared receive pool (Config.UseSRQ)
+	srqBytes        int64                // receive-buffer bytes posted (footprint stat)
+	pendingSends    map[uint64]pendingSend
+	pendingRecvs    map[uint64][]byte // posted receive buffers by WR id
+	pendingReads    map[uint64]pendingRead
+	pendingOneSided map[uint64]oneSidedState
+	rndzOrigin      map[uint64]rndzOriginState
+	nextWR          uint64
+	nextSeq         uint64
+
+	// stats
+	amsIn, amsOut, acksIn, acksOut, rdmaReads uint64
+}
+
+type pendingSend struct {
+	ep        *Endpoint
+	buf       []byte   // pool buffer to release at local completion
+	originCtr *Counter // bumped at local completion (eager fast path, §IV-C)
+}
+
+type pendingRead struct {
+	ep          *Endpoint
+	hdr         []byte // copied out of the receive buffer
+	dst         []byte
+	msgID       uint8
+	targetCtrID CounterID
+	originCtrID CounterID
+	complCtrID  CounterID
+	seq         uint64
+}
+
+type rndzOriginState struct {
+	mr        *verbs.MR
+	cached    bool // owned by the registration cache: do not deregister
+	originCtr *Counter
+	complCtr  *Counter
+}
+
+// NewContext creates a progress context for one actor.
+func (rt *Runtime) NewContext() *Context {
+	return &Context{
+		rt:              rt,
+		cq:              rt.hca.CreateCQ(),
+		eps:             make(map[uint32]*Endpoint),
+		pendingSends:    make(map[uint64]pendingSend),
+		pendingRecvs:    make(map[uint64][]byte),
+		pendingReads:    make(map[uint64]pendingRead),
+		pendingOneSided: make(map[uint64]oneSidedState),
+		rndzOrigin:      make(map[uint64]rndzOriginState),
+	}
+}
+
+// Runtime reports the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// Stats reports message counts for this context.
+func (c *Context) Stats() (amsIn, amsOut, acksIn, acksOut, rdmaReads uint64) {
+	return c.amsIn, c.amsOut, c.acksIn, c.acksOut, c.rdmaReads
+}
+
+// UseEvents switches this context's completion detection from polling to
+// interrupt-driven events (ablation: §II-A1 notes polling is fastest).
+func (c *Context) UseEvents(on bool) { c.cq.UseEvents = on }
+
+// bufSize is the receive/send buffer size for an endpoint.
+func (c *Context) bufSize(rel Reliability) int {
+	n := packetHdrSize + c.rt.cfg.EagerThreshold
+	if rel == Unreliable && n > c.rt.hca.Config().MTU {
+		n = c.rt.hca.Config().MTU
+	}
+	return n
+}
+
+// newEndpoint builds the local half of an endpoint. With per-endpoint
+// flow control each endpoint pre-posts its own credit window; in SRQ
+// mode all RC endpoints share one receive pool whose size is fixed
+// regardless of how many endpoints exist (§VII scalability).
+func (c *Context) newEndpoint(rel Reliability) (*Endpoint, error) {
+	typ := verbs.RC
+	if rel == Unreliable {
+		typ = verbs.UD
+	}
+	useSRQ := c.rt.cfg.UseSRQ && typ == verbs.RC
+	var qp *verbs.QP
+	if useSRQ {
+		if c.srq == nil {
+			c.srq = c.rt.hca.CreateSRQ()
+			bufSize := c.bufSize(Reliable)
+			for i := 0; i < c.rt.cfg.SRQBuffers; i++ {
+				id := c.wrID()
+				buf := make([]byte, bufSize)
+				c.pendingRecvs[id] = buf
+				if err := c.srq.Post(verbs.RecvWR{ID: id, Buf: buf}); err != nil {
+					delete(c.pendingRecvs, id)
+					return nil, err
+				}
+				c.srqBytes += int64(bufSize)
+			}
+		}
+		qp = c.rt.hca.NewQPWithSRQ(typ, c.cq, c.cq, c.srq)
+	} else {
+		qp = c.rt.hca.NewQP(typ, c.cq, c.cq)
+	}
+	if err := qp.Modify(verbs.StateInit); err != nil {
+		return nil, err
+	}
+	ep := &Endpoint{
+		ctx:         c,
+		qp:          qp,
+		rel:         rel,
+		sendCredits: c.rt.cfg.Credits,
+		bufSize:     c.bufSize(rel),
+		noCredits:   useSRQ,
+	}
+	if !useSRQ {
+		for i := 0; i < c.rt.cfg.Credits; i++ {
+			id := c.wrID()
+			buf := make([]byte, ep.bufSize)
+			c.pendingRecvs[id] = buf
+			if err := qp.PostRecv(verbs.RecvWR{ID: id, Buf: buf}); err != nil {
+				delete(c.pendingRecvs, id)
+				return nil, err
+			}
+			c.srqBytes += int64(ep.bufSize)
+		}
+	}
+	c.eps[qp.QPN()] = ep
+	return ep, nil
+}
+
+// RecvBufferBytes reports the receive-buffer memory this context has
+// posted — the footprint §VII's SRQ/UD direction keeps flat as client
+// counts grow.
+func (c *Context) RecvBufferBytes() int64 { return c.srqBytes }
+
+func (c *Context) wrID() uint64 {
+	c.nextWR++
+	return c.nextWR
+}
+
+// Dial establishes an endpoint with a remote service (paper §IV-A: the
+// end-point model replacing MPI-style destination ranks). The handshake
+// round trip is charged to clk; realCap bounds the wait in real time.
+func (rt *Runtime) Dial(ctx *Context, remote *simnet.Node, service string, rel Reliability, clk *simnet.VClock, realCap time.Duration) (*Endpoint, error) {
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	ep, err := ctx.newEndpoint(rel)
+	if err != nil {
+		return nil, err
+	}
+	peer, err := rt.cm.Connect(ep.qp, remote, service, clk, realCap)
+	if err != nil {
+		ep.teardown()
+		return nil, err
+	}
+	ep.finishSetup(peer)
+	return ep, nil
+}
+
+// Accept completes an inbound endpoint request within this context.
+// Servers that dispatch accepts to worker threads (the paper's round-
+// robin worker assignment, §V-A) obtain the request on the dispatcher
+// via Listener.Next and complete it on the worker with this method.
+func (c *Context) Accept(req *verbs.ConnRequest, clk *simnet.VClock) (*Endpoint, error) {
+	rel := Reliable
+	if req.RemoteQP().Type() == verbs.UD {
+		rel = Unreliable
+	}
+	ep, err := c.newEndpoint(rel)
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Accept(ep.qp, clk); err != nil {
+		ep.teardown()
+		return nil, err
+	}
+	ep.finishSetup(req.RemoteQP())
+	return ep, nil
+}
+
+// Progress blocks until one completion is processed, running handlers
+// and bumping counters as the protocol dictates. ok=false means the
+// context was destroyed.
+func (c *Context) Progress(clk *simnet.VClock) bool {
+	wc, ok := c.cq.Wait(clk)
+	if !ok {
+		return false
+	}
+	c.dispatch(clk, wc)
+	return true
+}
+
+// ProgressDeadline is Progress bounded by a virtual deadline, with a
+// real-time cap that fires only when the peer is genuinely silent.
+func (c *Context) ProgressDeadline(clk *simnet.VClock, deadline simnet.Time, realCap time.Duration) (ok, timedOut bool) {
+	wc, ok, timedOut := c.cq.WaitDeadline(clk, deadline, realCap)
+	if !ok {
+		return false, timedOut
+	}
+	c.dispatch(clk, wc)
+	return true, false
+}
+
+// WaitIncoming blocks (charging no time) until the context has at least
+// one completion pending, or the context is destroyed (false). It is the
+// waker half of a server event loop; the owning worker then drains with
+// TryProgress. Waker and owner must be sequenced, never concurrent.
+func (c *Context) WaitIncoming() bool { return c.cq.WaitAvailable() }
+
+// TryProgress processes one completion if immediately available,
+// charging the harvest cost (poll or interrupt per the context's mode).
+func (c *Context) TryProgress(clk *simnet.VClock) bool {
+	wc, ok := c.cq.TryPollWith(clk)
+	if !ok {
+		return false
+	}
+	c.dispatch(clk, wc)
+	return true
+}
+
+// WaitCounter drives progress until ctr reaches at least target, or the
+// virtual timeout expires (§IV-A: synchronization with timeouts so a
+// dead server is survivable). timeout <= 0 waits with a generous bound.
+func (c *Context) WaitCounter(clk *simnet.VClock, ctr *Counter, target uint64, timeout simnet.Duration) error {
+	realCap := c.rt.cfg.RealSilenceCap
+	if timeout <= 0 {
+		timeout = simnet.Time(1) << 50
+	}
+	deadline := clk.Now() + timeout
+	for ctr.Value() < target {
+		ok, timedOut := c.ProgressDeadline(clk, deadline, realCap)
+		if timedOut {
+			return ErrTimeout
+		}
+		if !ok {
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// dispatch routes one work completion.
+func (c *Context) dispatch(clk *simnet.VClock, wc verbs.WC) {
+	switch wc.Op {
+	case verbs.OpSend:
+		c.onSendComplete(wc)
+	case verbs.OpRecv:
+		c.onPacket(clk, wc)
+	case verbs.OpRDMARead:
+		// A read is either a rendezvous pull or a one-sided Get.
+		if !c.onOneSidedComplete(wc) {
+			c.onReadComplete(clk, wc)
+		}
+	case verbs.OpRDMAWrite:
+		c.onOneSidedComplete(wc) // one-sided Put
+	case verbs.OpAtomicFetchAdd, verbs.OpAtomicCmpSwap:
+		c.onOneSidedComplete(wc)
+	}
+}
+
+// onSendComplete releases the send buffer and bumps the origin counter
+// for eager sends (local completion means the application buffer is
+// reusable — §IV-C "Origin counter").
+func (c *Context) onSendComplete(wc verbs.WC) {
+	st, ok := c.pendingSends[wc.ID]
+	if !ok {
+		return
+	}
+	delete(c.pendingSends, wc.ID)
+	if st.buf != nil {
+		st.ep.releaseSendBuf(st.buf)
+	}
+	if wc.Status != verbs.StatusSuccess {
+		st.ep.markFailed()
+		return
+	}
+	st.originCtr.bump()
+}
+
+// onPacket handles an arrived UCR packet.
+func (c *Context) onPacket(clk *simnet.VClock, wc verbs.WC) {
+	buf, posted := c.pendingRecvs[wc.ID]
+	if posted {
+		delete(c.pendingRecvs, wc.ID)
+	}
+	ep := c.eps[wc.QPN]
+	if ep == nil {
+		return
+	}
+	if wc.Status != verbs.StatusSuccess {
+		if wc.Status != verbs.StatusFlushed {
+			ep.markFailed()
+		}
+		return
+	}
+	if !posted {
+		return
+	}
+	pkt, err := decodePacket(buf, wc.ByteLen)
+	if err != nil {
+		ep.markFailed()
+		return
+	}
+	ep.sendCredits += int(pkt.credits)
+
+	switch pkt.typ {
+	case ptEager:
+		c.amsIn++
+		c.handleEager(clk, ep, pkt)
+	case ptRndzHdr:
+		c.amsIn++
+		c.handleRndzHdr(clk, ep, pkt)
+	case ptAck:
+		c.acksIn++
+		c.handleAck(pkt)
+	}
+	// The packet content has been consumed (copied or acted upon):
+	// recycle the buffer into the credit window.
+	ep.repostRecv(buf)
+}
+
+// handleEager runs the short-message path of Fig 2b: header handler,
+// memcpy into the chosen buffer, completion handler, target counter.
+func (c *Context) handleEager(clk *simnet.VClock, ep *Endpoint, pkt packet) {
+	h := c.rt.handler(pkt.msgID)
+	if h == nil || h.Header == nil {
+		return // no consumer: drop, as an unhandled AM would be
+	}
+	clk.Advance(c.rt.cfg.HandlerOverhead)
+	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen)
+	var data []byte
+	if pkt.dataLen > 0 {
+		if len(dst) < pkt.dataLen {
+			ep.markFailed()
+			return
+		}
+		copy(dst, pkt.data)
+		clk.Advance(simnet.BytesDuration(pkt.dataLen, c.rt.cfg.PackBytesPerSec))
+		data = dst[:pkt.dataLen]
+	}
+	if h.Completion != nil {
+		h.Completion(clk, ep, pkt.hdr, data)
+	}
+	c.rt.lookupCounter(pkt.targetCtr).bump()
+	if pkt.complCtr != 0 {
+		// §IV-C: the optional internal message telling the origin that
+		// the completion handler has run.
+		ep.sendAck(clk, 0, pkt.complCtr, 0)
+	}
+}
+
+// handleRndzHdr runs the large-message path of Fig 2a: header handler
+// chooses the buffer, then the target pulls the data with RDMA Read.
+func (c *Context) handleRndzHdr(clk *simnet.VClock, ep *Endpoint, pkt packet) {
+	h := c.rt.handler(pkt.msgID)
+	if h == nil || h.Header == nil {
+		return
+	}
+	clk.Advance(c.rt.cfg.HandlerOverhead)
+	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen)
+	if len(dst) < pkt.dataLen {
+		ep.markFailed()
+		return
+	}
+	hdrCopy := append([]byte(nil), pkt.hdr...)
+	id := c.wrID()
+	c.pendingReads[id] = pendingRead{
+		ep:          ep,
+		hdr:         hdrCopy,
+		dst:         dst[:pkt.dataLen],
+		msgID:       pkt.msgID,
+		targetCtrID: pkt.targetCtr,
+		originCtrID: pkt.originCtr,
+		complCtrID:  pkt.complCtr,
+		seq:         pkt.seq,
+	}
+	c.rdmaReads++
+	err := ep.qp.PostSend(clk, verbs.SendWR{
+		ID:         id,
+		Op:         verbs.OpRDMARead,
+		Local:      dst[:pkt.dataLen],
+		RemoteAddr: pkt.rndzAddr,
+		RKey:       pkt.rkey,
+	})
+	if err != nil {
+		delete(c.pendingReads, id)
+		ep.markFailed()
+	}
+}
+
+// onReadComplete finishes a rendezvous receive: completion handler,
+// target counter, and the internal ack releasing the origin buffer.
+func (c *Context) onReadComplete(clk *simnet.VClock, wc verbs.WC) {
+	rd, ok := c.pendingReads[wc.ID]
+	if !ok {
+		return
+	}
+	delete(c.pendingReads, wc.ID)
+	if wc.Status != verbs.StatusSuccess {
+		rd.ep.markFailed()
+		return
+	}
+	h := c.rt.handler(rd.msgID)
+	if h != nil && h.Completion != nil {
+		h.Completion(clk, rd.ep, rd.hdr, rd.dst)
+	}
+	c.rt.lookupCounter(rd.targetCtrID).bump()
+	// One internal message carries both the origin-counter update (the
+	// RDMA of the data is complete; §IV-C Fig 2a) and, if requested, the
+	// completion-counter update — they coincide here because the
+	// completion handler runs as soon as the read lands.
+	if rd.originCtrID != 0 || rd.complCtrID != 0 || rd.seq != 0 {
+		rd.ep.sendAck(clk, rd.originCtrID, rd.complCtrID, rd.seq)
+	}
+}
+
+// handleAck applies counter updates from an internal message.
+func (c *Context) handleAck(pkt packet) {
+	if pkt.seq != 0 {
+		if st, ok := c.rndzOrigin[pkt.seq]; ok {
+			delete(c.rndzOrigin, pkt.seq)
+			if !st.cached {
+				c.rt.hca.DeregisterMR(st.mr)
+			}
+			st.originCtr.bump()
+			st.complCtr.bump()
+			return
+		}
+	}
+	c.rt.lookupCounter(pkt.originCtr).bump()
+	c.rt.lookupCounter(pkt.complCtr).bump()
+}
+
+// Destroy tears down every endpoint and the completion queue.
+func (c *Context) Destroy() {
+	for _, ep := range c.eps {
+		ep.teardown()
+	}
+	c.eps = map[uint32]*Endpoint{}
+	c.cq.Destroy()
+}

@@ -1,0 +1,101 @@
+package ucr
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet types on the wire.
+const (
+	ptEager   = 1 // header + data packed in one transaction (Fig 2b)
+	ptRndzHdr = 2 // header + (addr, rkey) of origin data to RDMA-read (Fig 2a)
+	ptAck     = 3 // internal counter/credit message
+)
+
+// packetHdrSize is the fixed wire header:
+//
+//	type(1) msgID(1) credits(2) hdrLen(4) dataLen(4)
+//	originCtr(8) targetCtr(8) complCtr(8) rndzAddr(8) rkey(4) seq(8)
+const packetHdrSize = 1 + 1 + 2 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 8
+
+// packet is the decoded form.
+type packet struct {
+	typ       uint8
+	msgID     uint8
+	credits   uint16
+	hdr       []byte
+	dataLen   int
+	originCtr CounterID
+	targetCtr CounterID
+	complCtr  CounterID
+	rndzAddr  uint64
+	rkey      uint32
+	seq       uint64
+	data      []byte // eager only
+}
+
+// encodedLen reports the wire size of the packet.
+func (p *packet) encodedLen() int {
+	n := packetHdrSize + len(p.hdr)
+	if p.typ == ptEager {
+		n += len(p.data)
+	}
+	return n
+}
+
+// encode packs the packet into dst, which must have room.
+func (p *packet) encode(dst []byte) int {
+	le := binary.LittleEndian
+	dst[0] = p.typ
+	dst[1] = p.msgID
+	le.PutUint16(dst[2:], p.credits)
+	le.PutUint32(dst[4:], uint32(len(p.hdr)))
+	le.PutUint32(dst[8:], uint32(p.dataLen))
+	le.PutUint64(dst[12:], uint64(p.originCtr))
+	le.PutUint64(dst[20:], uint64(p.targetCtr))
+	le.PutUint64(dst[28:], uint64(p.complCtr))
+	le.PutUint64(dst[36:], p.rndzAddr)
+	le.PutUint32(dst[44:], p.rkey)
+	le.PutUint64(dst[48:], p.seq)
+	off := packetHdrSize
+	off += copy(dst[off:], p.hdr)
+	if p.typ == ptEager {
+		off += copy(dst[off:], p.data)
+	}
+	return off
+}
+
+// decodePacket parses a wire buffer of n valid bytes. The returned
+// packet's hdr and data alias buf.
+func decodePacket(buf []byte, n int) (packet, error) {
+	if n < packetHdrSize || n > len(buf) {
+		return packet{}, fmt.Errorf("ucr: short packet (%d bytes)", n)
+	}
+	le := binary.LittleEndian
+	p := packet{
+		typ:       buf[0],
+		msgID:     buf[1],
+		credits:   le.Uint16(buf[2:]),
+		dataLen:   int(le.Uint32(buf[8:])),
+		originCtr: CounterID(le.Uint64(buf[12:])),
+		targetCtr: CounterID(le.Uint64(buf[20:])),
+		complCtr:  CounterID(le.Uint64(buf[28:])),
+		rndzAddr:  le.Uint64(buf[36:]),
+		rkey:      le.Uint32(buf[44:]),
+		seq:       le.Uint64(buf[48:]),
+	}
+	hdrLen := int(le.Uint32(buf[4:]))
+	off := packetHdrSize
+	if off+hdrLen > n {
+		return packet{}, fmt.Errorf("ucr: header overruns packet (%d+%d > %d)", off, hdrLen, n)
+	}
+	p.hdr = buf[off : off+hdrLen]
+	off += hdrLen
+	if p.typ == ptEager {
+		if off+p.dataLen > n {
+			return packet{}, fmt.Errorf("ucr: data overruns packet (%d+%d > %d)", off, p.dataLen, n)
+		}
+		p.data = buf[off : off+p.dataLen]
+	}
+	return p, nil
+}

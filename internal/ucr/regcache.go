@@ -1,0 +1,91 @@
+package ucr
+
+import (
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/verbs"
+)
+
+// regCache is the MVAPICH-style registration cache the paper's UCR
+// inherits (§I-B cites the buffer-management research UCR reuses):
+// pinning memory is expensive, and large-message workloads resend the
+// same buffers, so registrations are kept and reused instead of being
+// torn down after every rendezvous. A bounded FIFO keeps the pinned
+// footprint in check.
+//
+// Like real registration caches, correctness relies on cached buffers
+// not being freed and reallocated elsewhere while cached (production
+// implementations hook the allocator for invalidation; here the cache
+// key is the buffer's first-element address plus its length).
+type regCache struct {
+	mu      sync.Mutex
+	entries map[regKey]*verbs.MR
+	order   []regKey
+	cap     int
+
+	hits, misses uint64
+}
+
+type regKey struct {
+	ptr *byte
+	len int
+}
+
+func newRegCache(capEntries int) *regCache {
+	return &regCache{entries: make(map[regKey]*verbs.MR), cap: capEntries}
+}
+
+func keyOf(buf []byte) regKey {
+	return regKey{ptr: &buf[0], len: len(buf)}
+}
+
+// registerCached resolves an MR for buf: from the cache (free) or by
+// registering (cost charged to clk) and caching, evicting FIFO-oldest
+// entries beyond capacity. cached=true means the ack path must not
+// deregister the MR.
+func (rt *Runtime) registerCached(buf []byte, clk *simnet.VClock) (mr *verbs.MR, cached bool, err error) {
+	if rt.cfg.DisableRegCache || len(buf) == 0 {
+		mr, err = rt.hca.RegisterMR(rt.pd, buf, clk)
+		return mr, false, err
+	}
+	rc := rt.regs
+	k := keyOf(buf)
+	rc.mu.Lock()
+	if mr, ok := rc.entries[k]; ok {
+		rc.hits++
+		rc.mu.Unlock()
+		return mr, true, nil
+	}
+	rc.misses++
+	rc.mu.Unlock()
+
+	mr, err = rt.hca.RegisterMR(rt.pd, buf, clk)
+	if err != nil {
+		return nil, false, err
+	}
+	rc.mu.Lock()
+	rc.entries[k] = mr
+	rc.order = append(rc.order, k)
+	var evicted []*verbs.MR
+	for len(rc.order) > rc.cap {
+		old := rc.order[0]
+		rc.order = rc.order[1:]
+		if victim, ok := rc.entries[old]; ok {
+			delete(rc.entries, old)
+			evicted = append(evicted, victim)
+		}
+	}
+	rc.mu.Unlock()
+	for _, victim := range evicted {
+		rt.hca.DeregisterMR(victim)
+	}
+	return mr, true, nil
+}
+
+// RegCacheStats reports cache effectiveness.
+func (rt *Runtime) RegCacheStats() (hits, misses uint64) {
+	rt.regs.mu.Lock()
+	defer rt.regs.mu.Unlock()
+	return rt.regs.hits, rt.regs.misses
+}

@@ -1,0 +1,159 @@
+package ucr
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/verbs"
+)
+
+// Runtime is one process's UCR instance: the handler table, the counter
+// registry, and the verbs resources shared by that process's progress
+// contexts (a Memcached server creates one Runtime and one Context per
+// worker thread; a client creates one of each).
+type Runtime struct {
+	hca *verbs.HCA
+	cm  *verbs.CM
+	cfg Config
+	pd  *verbs.PD
+
+	handlers [256]atomic.Pointer[Handler]
+
+	ctrMu    sync.Mutex
+	counters map[CounterID]*Counter
+	nextCtr  uint64
+
+	regs *regCache
+
+	closed atomic.Bool
+}
+
+// New creates a runtime on the given adapter, using cm for endpoint
+// establishment.
+func New(hca *verbs.HCA, cm *verbs.CM, cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	return &Runtime{
+		hca:      hca,
+		cm:       cm,
+		cfg:      cfg,
+		pd:       hca.AllocPD(),
+		counters: make(map[CounterID]*Counter),
+		regs:     newRegCache(cfg.RegCacheEntries),
+	}
+}
+
+// Config reports the runtime's effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// HCA reports the underlying adapter.
+func (rt *Runtime) HCA() *verbs.HCA { return rt.hca }
+
+// Node reports the host node.
+func (rt *Runtime) Node() *simnet.Node { return rt.hca.Node() }
+
+// RegisterHandler installs the handler pair for a message id. Handlers
+// are normally registered once at start-up, before traffic flows.
+func (rt *Runtime) RegisterHandler(msgID uint8, h Handler) {
+	hh := h
+	rt.handlers[msgID].Store(&hh)
+}
+
+func (rt *Runtime) handler(msgID uint8) *Handler {
+	return rt.handlers[msgID].Load()
+}
+
+// NewCounter allocates a counter with a network-visible id.
+func (rt *Runtime) NewCounter() *Counter {
+	rt.ctrMu.Lock()
+	defer rt.ctrMu.Unlock()
+	rt.nextCtr++
+	c := &Counter{id: CounterID(rt.nextCtr)}
+	rt.counters[c.id] = c
+	return c
+}
+
+// lookupCounter resolves a counter id (0 → nil).
+func (rt *Runtime) lookupCounter(id CounterID) *Counter {
+	if id == 0 {
+		return nil
+	}
+	rt.ctrMu.Lock()
+	defer rt.ctrMu.Unlock()
+	return rt.counters[id]
+}
+
+// FreeCounter removes a counter from the registry.
+func (rt *Runtime) FreeCounter(c *Counter) {
+	if c == nil {
+		return
+	}
+	rt.ctrMu.Lock()
+	delete(rt.counters, c.id)
+	rt.ctrMu.Unlock()
+}
+
+// Close marks the runtime closed. Contexts and endpoints created from it
+// keep working until individually closed; Close only blocks new Listen
+// and Dial calls.
+func (rt *Runtime) Close() { rt.closed.Store(true) }
+
+// Listener accepts UCR endpoint requests for a service.
+type Listener struct {
+	rt  *Runtime
+	lis *verbs.Listener
+}
+
+// Listen binds a UCR service name on this runtime's node.
+func (rt *Runtime) Listen(service string) (*Listener, error) {
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	vl, err := rt.cm.Listen(service)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{rt: rt, lis: vl}, nil
+}
+
+// Accept blocks for the next endpoint request and completes it within
+// ctx (the accepting worker's progress context). ok=false means the
+// listener was closed.
+func (l *Listener) Accept(ctx *Context, clk *simnet.VClock) (*Endpoint, bool) {
+	req, ok := l.lis.Accept(clk)
+	if !ok {
+		return nil, false
+	}
+	ep, err := ctx.Accept(req, clk)
+	if err != nil {
+		req.Reject(err)
+		return nil, ok
+	}
+	return ep, true
+}
+
+// AcceptTimeout is Accept with a real-time cap for shutdown paths.
+func (l *Listener) AcceptTimeout(ctx *Context, clk *simnet.VClock, realCap time.Duration) (*Endpoint, bool) {
+	req, ok := l.lis.AcceptTimeout(clk, realCap)
+	if !ok {
+		return nil, false
+	}
+	ep, err := ctx.Accept(req, clk)
+	if err != nil {
+		req.Reject(err)
+		return nil, ok
+	}
+	return ep, true
+}
+
+// Next returns the next raw endpoint request without completing it, so
+// a dispatcher thread can hand it to a worker thread's context (the
+// worker then calls Context.Accept). ok=false means closed or the real-
+// time cap fired with nothing pending.
+func (l *Listener) Next(clk *simnet.VClock, realCap time.Duration) (*verbs.ConnRequest, bool) {
+	return l.lis.AcceptTimeout(clk, realCap)
+}
+
+// Close stops accepting.
+func (l *Listener) Close() { l.lis.Close() }

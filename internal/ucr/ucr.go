@@ -1,0 +1,171 @@
+// Package ucr implements the Unified Communication Runtime — the
+// paper's §IV contribution: an active-message communication library over
+// InfiniBand verbs designed to serve data-center middleware (Memcached)
+// with the same buffer-management and flow-control machinery as HPC
+// runtimes (MVAPICH).
+//
+// The programming model follows the paper exactly:
+//
+//   - Endpoints, not ranks: a client establishes a bidirectional
+//     end-point with a server before communication; one failing process
+//     never takes down others (§IV-A).
+//   - Active messages: a message has a header and data. At the target a
+//     registered *header handler* runs first and identifies the
+//     destination buffer; the data then lands there — packed in the same
+//     network transaction for small messages (§IV, Fig 2b), or pulled by
+//     the target with RDMA Read for large ones (Fig 2a) — after which an
+//     optional *completion handler* runs.
+//   - Counters: monotonically increasing objects tracking progress.
+//     origin_counter bumps at the origin when the send buffers are
+//     reusable; target_counter bumps at the target when data has arrived
+//     and the completion handler ran; completion_counter bumps at the
+//     origin when the target's completion handler finished. NULL
+//     (zero/nil) counters suppress the corresponding internal ack
+//     messages (§IV-C).
+//   - Synchronization with timeouts: waits carry deadlines so a dead
+//     peer is detected and survivable (§IV-A).
+package ucr
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Errors returned by UCR operations.
+var (
+	ErrTimeout      = errors.New("ucr: wait timed out")
+	ErrEndpointDown = errors.New("ucr: endpoint down")
+	ErrTooLarge     = errors.New("ucr: message too large for endpoint type")
+	ErrNoHandler    = errors.New("ucr: no handler registered for message id")
+	ErrBadHandler   = errors.New("ucr: handler returned undersized buffer")
+	ErrClosed       = errors.New("ucr: runtime closed")
+	ErrWindowBounds = errors.New("ucr: one-sided access outside window")
+)
+
+// Reliability selects the endpoint type, mirroring the paper's choice of
+// reliable (RC-backed) vs unreliable (UD-backed) end-points.
+type Reliability uint8
+
+// Endpoint reliability classes.
+const (
+	Reliable   Reliability = iota // InfiniBand RC transport
+	Unreliable                    // InfiniBand UD transport (§VII extension)
+)
+
+func (r Reliability) String() string {
+	if r == Unreliable {
+		return "unreliable"
+	}
+	return "reliable"
+}
+
+// CounterID names a counter across the network: an origin can ask the
+// target to bump a specific counter on the target's side (this is how
+// Memcached's client passes "counter C" inside its request so the
+// server's reply targets it; paper §V-B/V-C).
+type CounterID uint64
+
+// Counter is a monotonically increasing progress object (§IV-C).
+// Reads are safe from any goroutine; increments happen during progress.
+type Counter struct {
+	id  CounterID
+	val atomic.Uint64
+}
+
+// ID reports the network-visible identifier.
+func (c *Counter) ID() CounterID {
+	if c == nil {
+		return 0
+	}
+	return c.id
+}
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.val.Load() }
+
+func (c *Counter) bump() {
+	if c != nil {
+		c.val.Add(1)
+	}
+}
+
+// HeaderHandler runs at the target when a message header arrives. It may
+// perform limited logic and must return the destination buffer for the
+// data — at least dataLen bytes (a zero dataLen may return nil). clk is
+// the progressing actor's virtual clock; processing the handler does in
+// the real system should be charged to it.
+type HeaderHandler func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int) []byte
+
+// CompletionHandler runs at the target after the data has fully landed
+// in the buffer the header handler chose. It may itself send messages
+// (this is how the Memcached server issues its reply AM, §V-B).
+type CompletionHandler func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte)
+
+// Handler couples the two stages for one message id. Completion may be
+// nil (the paper notes running it is optional, decided by handler
+// registration).
+type Handler struct {
+	Header     HeaderHandler
+	Completion CompletionHandler
+}
+
+// Config tunes the runtime. Zero values get paper-faithful defaults.
+type Config struct {
+	// EagerThreshold is the largest header+data that travels packed in
+	// one network transaction (paper §V: one 8 KB network buffer).
+	EagerThreshold int
+	// Credits is the number of pre-posted receive buffers per endpoint
+	// (the flow-control window).
+	Credits int
+	// PackBytesPerSec is memcpy bandwidth for packing eager payloads
+	// into registered buffers at the origin and out at the target.
+	PackBytesPerSec float64
+	// HandlerOverhead is the fixed cost of dispatching one active
+	// message into its header handler.
+	HandlerOverhead simnet.Duration
+	// RealSilenceCap bounds, in *real* time, how long a wait may sit on
+	// a completely silent channel before concluding the peer is dead.
+	// Virtual time cannot advance by itself on silence, so this backstop
+	// is what turns a dead peer into ErrTimeout (§IV-A).
+	RealSilenceCap time.Duration
+	// UseSRQ makes every RC endpoint in a context draw receives from
+	// one shared receive queue instead of a per-endpoint window — the
+	// MVAPICH scalability design the paper cites ([11]) and the basis
+	// of §VII's plan to scale client counts: buffer memory stays flat
+	// as endpoints grow. Credit-based flow control is disabled in this
+	// mode (the shared pool absorbs bursts, sized by SRQBuffers).
+	UseSRQ bool
+	// SRQBuffers sizes the shared pool (default 4 × Credits).
+	SRQBuffers int
+	// DisableRegCache turns off the registration cache for rendezvous
+	// sends, charging full pin/unpin cost on every large message (the
+	// MVAPICH-style cache is on by default; ablation knob).
+	DisableRegCache bool
+	// RegCacheEntries caps the registration cache (default 128).
+	RegCacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerThreshold <= 0 {
+		c.EagerThreshold = 8192
+	}
+	if c.Credits <= 0 {
+		c.Credits = 64
+	}
+	if c.PackBytesPerSec <= 0 {
+		c.PackBytesPerSec = 5e9
+	}
+	if c.RealSilenceCap <= 0 {
+		c.RealSilenceCap = 500 * time.Millisecond
+	}
+	if c.RegCacheEntries <= 0 {
+		c.RegCacheEntries = 128
+	}
+	if c.SRQBuffers <= 0 {
+		c.SRQBuffers = 4 * c.Credits
+	}
+	return c
+}

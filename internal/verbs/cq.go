@@ -1,0 +1,115 @@
+package verbs
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// CQ is a completion queue. The owner detects completions either by
+// polling (the paper's low-latency choice) or, if armed with UseEvents,
+// by interrupt-style events that charge a higher per-completion cost.
+type CQ struct {
+	hca *HCA
+	box *simnet.Mailbox[WC]
+
+	// UseEvents switches the completion cost model from PollOverhead
+	// to InterruptOverhead (ablation: polling vs events, §II-A1).
+	UseEvents bool
+}
+
+// CreateCQ allocates a completion queue on the adapter.
+func (h *HCA) CreateCQ() *CQ {
+	return &CQ{hca: h, box: simnet.NewMailbox[WC]()}
+}
+
+// post enqueues a completion (transport-internal).
+func (c *CQ) post(wc WC) { c.box.Put(wc) }
+
+// completionCost is the CPU time to harvest one completion.
+func (c *CQ) completionCost() simnet.Duration {
+	if c.UseEvents {
+		return c.hca.cfg.InterruptOverhead
+	}
+	return c.hca.cfg.PollOverhead
+}
+
+// TryPoll returns a completion if one is immediately available. The
+// caller is responsible for advancing its clock to wc.Time plus the
+// adapter's poll overhead (Wait and TryPollWith do this automatically).
+func (c *CQ) TryPoll() (WC, bool) {
+	wc, ok, _ := c.box.TryRecv()
+	return wc, ok
+}
+
+// TryPollWith is TryPoll plus clock synchronization: on success clk
+// advances to the completion time and is charged the harvest cost
+// (poll or interrupt, per the CQ's mode).
+func (c *CQ) TryPollWith(clk *simnet.VClock) (WC, bool) {
+	wc, ok, _ := c.box.TryRecv()
+	if !ok {
+		return wc, false
+	}
+	clk.AdvanceTo(wc.Time)
+	clk.Advance(c.completionCost())
+	return wc, true
+}
+
+// Wait blocks until a completion is available, then synchronizes clk
+// with the completion time and charges the harvest cost.
+// ok=false means the CQ was destroyed.
+func (c *CQ) Wait(clk *simnet.VClock) (WC, bool) {
+	wc, ok := c.box.Recv()
+	if !ok {
+		return wc, false
+	}
+	clk.AdvanceTo(wc.Time)
+	clk.Advance(c.completionCost())
+	return wc, true
+}
+
+// WaitDeadline is Wait with a virtual deadline and a real-time cap.
+// If nothing arrives, ok=false and timedOut=true; clk is advanced to the
+// virtual deadline (the caller "spent" that time waiting). The real cap
+// exists because virtual time cannot advance on a silent channel — it
+// fires only on genuine loss (peer death), which is what the paper's
+// timeout-based fault detection (§IV-A) is for.
+func (c *CQ) WaitDeadline(clk *simnet.VClock, deadline simnet.Time, realCap time.Duration) (wc WC, ok, timedOut bool) {
+	wc, ok, timedOut = c.box.RecvTimeout(realCap)
+	if !ok {
+		if timedOut {
+			clk.AdvanceTo(deadline)
+		}
+		return wc, false, timedOut
+	}
+	if wc.Time > deadline {
+		// Completion exists but lands after the virtual deadline: the
+		// waiter gave up first. Requeue for a later harvest.
+		c.box.PutFront(wc)
+		clk.AdvanceTo(deadline)
+		return WC{}, false, true
+	}
+	clk.AdvanceTo(wc.Time)
+	clk.Advance(c.completionCost())
+	return wc, true, false
+}
+
+// WaitAvailable blocks until a completion is pending, or the CQ is
+// destroyed (false). It consumes nothing and charges no time — it is the
+// event-channel arm used by a waker goroutine in server event loops; the
+// owning worker then harvests with TryPoll/Wait. Waker and owner must be
+// sequenced, never concurrent.
+func (c *CQ) WaitAvailable() bool {
+	wc, ok := c.box.Recv()
+	if !ok {
+		return false
+	}
+	c.box.PutFront(wc)
+	return true
+}
+
+// Len reports the number of pending completions.
+func (c *CQ) Len() int { return c.box.Len() }
+
+// Destroy closes the queue, waking any waiter.
+func (c *CQ) Destroy() { c.box.Close() }

@@ -1,0 +1,400 @@
+package verbs
+
+import (
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// QP is a queue pair: the verbs communication endpoint. An RC (reliable
+// connected) QP is wired 1:1 to a peer QP by the connection manager; a
+// UD (unreliable datagram) QP sends to any peer named by an address
+// handle, with silent loss when the receiver has no buffer posted.
+type QP struct {
+	hca    *HCA
+	typ    QPType
+	qpn    uint32
+	sendCQ *CQ
+	recvCQ *CQ
+	srq    *SRQ // optional shared receive queue
+
+	mu     sync.Mutex
+	state  QPState
+	recvq  []RecvWR
+	remote *QP // RC peer, set by the connection manager
+}
+
+// NewQP creates a queue pair in the RESET state.
+func (h *HCA) NewQP(typ QPType, sendCQ, recvCQ *CQ) *QP {
+	qp := &QP{hca: h, typ: typ, sendCQ: sendCQ, recvCQ: recvCQ, state: StateReset}
+	qp.qpn = h.registerQP(qp)
+	return qp
+}
+
+// NewQPWithSRQ creates a queue pair whose receives come from a shared
+// receive queue (the MVAPICH-style scalability feature the paper's UCR
+// inherits its buffer management from).
+func (h *HCA) NewQPWithSRQ(typ QPType, sendCQ, recvCQ *CQ, srq *SRQ) *QP {
+	qp := h.NewQP(typ, sendCQ, recvCQ)
+	qp.srq = srq
+	return qp
+}
+
+// QPN reports the queue pair number.
+func (q *QP) QPN() uint32 { return q.qpn }
+
+// Type reports RC or UD.
+func (q *QP) Type() QPType { return q.typ }
+
+// HCA reports the owning adapter.
+func (q *QP) HCA() *HCA { return q.hca }
+
+// State reports the current state.
+func (q *QP) State() QPState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.state
+}
+
+// Modify transitions the state machine, enforcing the legal bring-up
+// order RESET→INIT→RTR→RTS (any state may move to ERR, and ERR→RESET
+// recycles the QP).
+func (q *QP) Modify(next QPState) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if next == StateErr {
+		q.state = StateErr
+		return nil
+	}
+	legal := map[QPState]QPState{
+		StateInit:  StateReset,
+		StateRTR:   StateInit,
+		StateRTS:   StateRTR,
+		StateReset: StateErr,
+	}
+	if want, ok := legal[next]; !ok || q.state != want {
+		return ErrBadState
+	}
+	q.state = next
+	return nil
+}
+
+// setRemote wires the RC peer (connection-manager internal).
+func (q *QP) setRemote(peer *QP) {
+	q.mu.Lock()
+	q.remote = peer
+	q.mu.Unlock()
+}
+
+// Remote reports the connected peer QP, or nil.
+func (q *QP) Remote() *QP {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.remote
+}
+
+// PostRecv posts a receive buffer. The QP must be at least INIT. With an
+// SRQ attached, receives must be posted to the SRQ instead.
+func (q *QP) PostRecv(wr RecvWR) error {
+	if q.srq != nil {
+		return q.srq.Post(wr)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state == StateReset || q.state == StateErr {
+		return ErrBadState
+	}
+	q.recvq = append(q.recvq, wr)
+	return nil
+}
+
+// RecvQueueLen reports posted, unconsumed receive buffers.
+func (q *QP) RecvQueueLen() int {
+	if q.srq != nil {
+		return q.srq.Len()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.recvq)
+}
+
+// popRecv takes the oldest posted receive buffer.
+func (q *QP) popRecv() (RecvWR, bool) {
+	if q.srq != nil {
+		return q.srq.pop()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.recvq) == 0 {
+		return RecvWR{}, false
+	}
+	wr := q.recvq[0]
+	q.recvq = q.recvq[1:]
+	return wr, true
+}
+
+// Destroy errors the QP, flushes posted receives as StatusFlushed
+// completions, and releases the QP number.
+func (q *QP) Destroy() {
+	q.mu.Lock()
+	q.state = StateErr
+	pending := q.recvq
+	q.recvq = nil
+	q.mu.Unlock()
+	for _, wr := range pending {
+		q.recvCQ.post(WC{ID: wr.ID, Op: OpRecv, Status: StatusFlushed, QPN: q.qpn})
+	}
+	q.hca.unregisterQP(q.qpn)
+}
+
+// PostSend posts a send-side work request. The posting cost is charged
+// to clk; the outcome is reported asynchronously on the send CQ (like
+// real verbs, transport errors surface as completion statuses, not as a
+// PostSend error — PostSend errors only for caller mistakes).
+func (q *QP) PostSend(clk *simnet.VClock, wr SendWR) error {
+	q.mu.Lock()
+	state := q.state
+	remote := q.remote
+	q.mu.Unlock()
+	if state != StateRTS {
+		return ErrBadState
+	}
+	clk.Advance(q.hca.cfg.PostOverhead)
+
+	switch wr.Op {
+	case OpSend:
+		return q.postSendMsg(clk, wr, remote)
+	case OpRDMARead:
+		return q.postRDMARead(clk, wr, remote)
+	case OpRDMAWrite:
+		return q.postRDMAWrite(clk, wr, remote)
+	default:
+		return ErrBadState
+	}
+}
+
+// resolveDest picks the destination QP for a send.
+func (q *QP) resolveDest(wr SendWR, remote *QP) (*QP, error) {
+	if q.typ == UD {
+		if wr.Dest == nil || wr.Dest.Target == nil {
+			return nil, ErrNoAddress
+		}
+		dst, ok := wr.Dest.Target.lookupQP(wr.Dest.QPN)
+		if !ok {
+			return nil, nil // datagram to nowhere: silently lost
+		}
+		return dst, nil
+	}
+	if remote == nil {
+		return nil, ErrNotConnected
+	}
+	return remote, nil
+}
+
+// postSendMsg implements the two-sided SEND.
+func (q *QP) postSendMsg(clk *simnet.VClock, wr SendWR, remote *QP) error {
+	cfg := q.hca.cfg
+	n := len(wr.Local)
+	if wr.Inline && n > cfg.InlineMax {
+		return ErrInlineLimit
+	}
+	if q.typ == UD && n > cfg.MTU {
+		return ErrTooLarge
+	}
+
+	dst, err := q.resolveDest(wr, remote)
+	if err != nil {
+		return err
+	}
+
+	start := q.hca.sendEngine.Acquire(clk.Now(), cfg.SendProc)
+	depart := start + cfg.SendProc
+
+	if dst == nil { // UD datagram to an unknown QP
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpSend, Status: StatusSuccess, ByteLen: n, QPN: q.qpn, Time: depart})
+		return nil
+	}
+
+	arrive, derr := q.hca.fabric.Deliver(q.hca.node, dst.hca.node, depart, wireBytes(n, cfg))
+	if derr != nil {
+		status := StatusTransportError
+		if q.typ == UD {
+			// Datagrams are fire-and-forget: loss is silent.
+			status = StatusSuccess
+		}
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpSend, Status: status, ByteLen: n, QPN: q.qpn, Time: depart})
+		return nil
+	}
+
+	// The payload is copied now (sender goroutine acts as the DMA
+	// engine); the stamp says when it becomes visible.
+	rstatus, rtime := dst.receive(wr.Local, wr.Imm, q.qpn, arrive)
+
+	// Local completion: for an inline or buffered send the origin buffer
+	// is reusable as soon as the HCA has consumed it.
+	localStatus := StatusSuccess
+	localTime := depart
+	if q.typ == RC && rstatus != StatusSuccess {
+		// Reliable transport reflects the remote failure to the sender
+		// (RNR retries exhausted / remote length error).
+		localStatus = rstatus
+		localTime = rtime
+	}
+	q.sendCQ.post(WC{ID: wr.ID, Op: OpSend, Status: localStatus, ByteLen: n, QPN: q.qpn, Time: localTime})
+	return nil
+}
+
+// receive consumes a posted receive buffer for an incoming SEND.
+func (q *QP) receive(payload []byte, imm uint32, srcQPN uint32, arrive simnet.Time) (Status, simnet.Time) {
+	cfg := q.hca.cfg
+	q.mu.Lock()
+	state := q.state
+	q.mu.Unlock()
+	if state != StateRTR && state != StateRTS {
+		return StatusRemoteError, arrive
+	}
+	wr, ok := q.popRecv()
+	if !ok {
+		if q.typ == UD {
+			return StatusSuccess, arrive // dropped on the floor
+		}
+		return StatusRNRRetryExceeded, arrive
+	}
+	if len(wr.Buf) < len(payload) {
+		q.recvCQ.post(WC{ID: wr.ID, Op: OpRecv, Status: StatusRemoteError, QPN: q.qpn, SrcQPN: srcQPN, Time: arrive})
+		return StatusRemoteError, arrive
+	}
+	copy(wr.Buf, payload)
+	placed := q.hca.recvEngine.Acquire(arrive, cfg.RecvProc) + cfg.RecvProc
+	q.recvCQ.post(WC{
+		ID: wr.ID, Op: OpRecv, Status: StatusSuccess,
+		ByteLen: len(payload), Imm: imm, QPN: q.qpn, SrcQPN: srcQPN, Time: placed,
+	})
+	return StatusSuccess, placed
+}
+
+// rdmaPeer validates the one-sided preconditions and returns the target.
+func (q *QP) rdmaPeer(remote *QP) (*QP, error) {
+	if q.typ != RC {
+		return nil, ErrBadState // one-sided ops require a connected QP
+	}
+	if remote == nil {
+		return nil, ErrNotConnected
+	}
+	return remote, nil
+}
+
+// postRDMARead pulls remote memory into wr.Local with no remote software
+// involvement — the mechanism UCR uses to fetch large active-message
+// payloads (paper §IV-B).
+func (q *QP) postRDMARead(clk *simnet.VClock, wr SendWR, remote *QP) error {
+	cfg := q.hca.cfg
+	dst, err := q.rdmaPeer(remote)
+	if err != nil {
+		return err
+	}
+	n := len(wr.Local)
+
+	// Request packet to the target.
+	start := q.hca.sendEngine.Acquire(clk.Now(), cfg.SendProc)
+	depart := start + cfg.SendProc
+	reqArrive, derr := q.hca.fabric.Deliver(q.hca.node, dst.hca.node, depart, cfg.HeaderBytes)
+	if derr != nil {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusTransportError, QPN: q.qpn, Time: depart})
+		return nil
+	}
+
+	// Target HCA serves the read from registered memory.
+	src, ok := dst.hca.lookupMR(wr.RKey)
+	if !ok {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusRemoteError, QPN: q.qpn, Time: reqArrive})
+		return nil
+	}
+	data, rerr := src.rdmaRange(wr.RemoteAddr, n)
+	if rerr != nil {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusRemoteError, QPN: q.qpn, Time: reqArrive})
+		return nil
+	}
+
+	respStart := dst.hca.sendEngine.Acquire(reqArrive, cfg.RDMAProc)
+	respDepart := respStart + cfg.RDMAProc
+	respArrive, derr := dst.hca.fabric.Deliver(dst.hca.node, q.hca.node, respDepart, wireBytes(n, cfg))
+	if derr != nil {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusTransportError, QPN: q.qpn, Time: respDepart})
+		return nil
+	}
+	copy(wr.Local, data)
+	done := q.hca.recvEngine.Acquire(respArrive, cfg.RecvProc) + cfg.RecvProc
+	q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusSuccess, ByteLen: n, QPN: q.qpn, Time: done})
+	return nil
+}
+
+// postRDMAWrite pushes wr.Local into remote memory.
+func (q *QP) postRDMAWrite(clk *simnet.VClock, wr SendWR, remote *QP) error {
+	cfg := q.hca.cfg
+	dst, err := q.rdmaPeer(remote)
+	if err != nil {
+		return err
+	}
+	n := len(wr.Local)
+
+	start := q.hca.sendEngine.Acquire(clk.Now(), cfg.SendProc)
+	depart := start + cfg.SendProc
+	arrive, derr := q.hca.fabric.Deliver(q.hca.node, dst.hca.node, depart, wireBytes(n, cfg))
+	if derr != nil {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusTransportError, QPN: q.qpn, Time: depart})
+		return nil
+	}
+	tgt, ok := dst.hca.lookupMR(wr.RKey)
+	if !ok {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusRemoteError, QPN: q.qpn, Time: arrive})
+		return nil
+	}
+	room, rerr := tgt.rdmaRange(wr.RemoteAddr, n)
+	if rerr != nil {
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusRemoteError, QPN: q.qpn, Time: arrive})
+		return nil
+	}
+	copy(room, wr.Local)
+	dst.hca.recvEngine.Acquire(arrive, cfg.RDMAProc)
+	q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusSuccess, ByteLen: n, QPN: q.qpn, Time: depart})
+	return nil
+}
+
+// SRQ is a shared receive queue: one pool of posted buffers feeding many
+// QPs, reducing per-connection buffer consumption (the scalability
+// design reused from MVAPICH that the paper cites).
+type SRQ struct {
+	hca *HCA
+	mu  sync.Mutex
+	q   []RecvWR
+}
+
+// CreateSRQ allocates a shared receive queue.
+func (h *HCA) CreateSRQ() *SRQ { return &SRQ{hca: h} }
+
+// Post adds a buffer to the shared pool.
+func (s *SRQ) Post(wr RecvWR) error {
+	s.mu.Lock()
+	s.q = append(s.q, wr)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports available buffers.
+func (s *SRQ) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}
+
+func (s *SRQ) pop() (RecvWR, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) == 0 {
+		return RecvWR{}, false
+	}
+	wr := s.q[0]
+	s.q = s.q[1:]
+	return wr, true
+}

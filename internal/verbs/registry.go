@@ -1,0 +1,39 @@
+package verbs
+
+import "sync"
+
+// registry is a small typed concurrent map used by the connection
+// manager for service lookup.
+type registry[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+func newRegistry[K comparable, V any]() *registry[K, V] {
+	return &registry[K, V]{m: make(map[K]V)}
+}
+
+func (r *registry[K, V]) get(k K) (V, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.m[k]
+	return v, ok
+}
+
+// putIfAbsent stores v under k and reports true, or reports false if the
+// key already exists.
+func (r *registry[K, V]) putIfAbsent(k K, v V) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[k]; dup {
+		return false
+	}
+	r.m[k] = v
+	return true
+}
+
+func (r *registry[K, V]) delete(k K) {
+	r.mu.Lock()
+	delete(r.m, k)
+	r.mu.Unlock()
+}
