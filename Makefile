@@ -1,0 +1,15 @@
+# Test tiers. tier1 is the gate every change must keep green; tier2
+# adds vet and the race detector (the mcclient ejection path is
+# exercised concurrently).
+
+.PHONY: tier1 tier2 test
+
+tier1:
+	go build ./...
+	go test ./...
+
+tier2:
+	go vet ./...
+	go test -race ./...
+
+test: tier1 tier2

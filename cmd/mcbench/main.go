@@ -88,6 +88,20 @@ func runAblations(cfg bench.RunConfig) {
 	}
 }
 
+// runFaultSweep prints the drop% x transport resilience table: every
+// recovery layer (RC retransmission, socket RTO, client retry+backoff)
+// active over a seeded lossy fabric.
+func runFaultSweep(cfg bench.RunConfig) {
+	p := clusterProfile("B")
+	cells, err := bench.FaultSweep(p, p.Transports, []float64{0, 1, 5, 10}, 64, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: fault sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("# fault sweep: 64B gets, cluster B, seeded per-pair drop streams")
+	fmt.Print(bench.FaultSweepString(cells))
+}
+
 func main() {
 	var (
 		figID     = flag.String("figure", "", "panel id to run (e.g. fig3a); empty = all")
@@ -96,11 +110,17 @@ func main() {
 		list      = flag.Bool("list", false, "list available panels and exit")
 		speedups  = flag.Bool("speedups", false, "append UCR-vs-baseline speedup factors")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
+		faults    = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
 	)
 	flag.Parse()
 
 	if *ablations {
 		runAblations(bench.RunConfig{OpsPerPoint: *ops})
+		return
+	}
+
+	if *faults {
+		runFaultSweep(bench.RunConfig{OpsPerPoint: *ops})
 		return
 	}
 

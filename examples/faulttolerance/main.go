@@ -68,6 +68,39 @@ func main() {
 	} else {
 		log.Fatal("phase 4: op against a dead server unexpectedly succeeded")
 	}
+
+	// Phase 6: not a dead machine but a lossy fabric — 20% of messages
+	// dropped by a seeded injector. RC retransmission under UCR absorbs
+	// every loss; all operations complete, just a little later.
+	lossyBehaviors := behaviors
+	lossyBehaviors.OpTimeout = 2 * simnet.Millisecond
+	lossyBehaviors.Retries = 3
+	lossy, err := core.NewSystem(core.Config{Cluster: "B", Behaviors: lossyBehaviors})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lossy.Close()
+	faults := simnet.NewFaultInjector(simnet.FaultConfig{Seed: 7, DropRate: 0.2})
+	lossy.Deployment.IB.SetFaults(faults)
+
+	carol, err := lossy.AddClient("UCR-IB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("lossy:%d", i)
+		must(carol.MC.Set(key, []byte("v"), 0, 0))
+		if _, _, _, err := carol.MC.Get(key); err != nil {
+			log.Fatalf("phase 6: get %s over lossy fabric: %v", key, err)
+		}
+	}
+	delivered, dropped, _ := faults.Stats()
+	retrans := carol.Runtime().HCA().Retransmits()
+	for _, hca := range lossy.Deployment.ServerHCAs {
+		retrans += hca.Retransmits()
+	}
+	fmt.Printf("phase 6: 40 ops over a 20%%-loss fabric all completed: %d delivered, %d dropped, %d RC retransmissions\n",
+		delivered, dropped, retrans)
 }
 
 func must(err error) {

@@ -34,6 +34,11 @@ type Options struct {
 	// UseSRQ makes server UCR endpoints draw receives from one shared
 	// pool per worker (§VII scalability; ablation).
 	UseSRQ bool
+	// Faults, when non-nil, installs a deterministic fault injector on
+	// every fabric (same config, one independent verdict stream per
+	// fabric and node pair). Nil leaves delivery lossless and the
+	// figure benchmarks bit-identical.
+	Faults *simnet.FaultConfig
 }
 
 func (o Options) withDefaults(p *Profile) Options {
@@ -96,6 +101,10 @@ type Deployment struct {
 	ServerHCAs  []*verbs.HCA
 	ServerRTs   []*ucr.Runtime
 
+	// Injectors are the per-fabric fault injectors (empty when
+	// Opts.Faults is nil), in the order the fabrics were added.
+	Injectors []*simnet.FaultInjector
+
 	providers map[Transport]*sockstream.Provider
 	clients   int
 }
@@ -117,6 +126,17 @@ func New(p *Profile, opts Options) *Deployment {
 		d.Eth1G = d.Network.AddFabric(*p.Eth1G)
 	}
 	d.CM = verbs.NewCM(d.IB)
+
+	if opts.Faults != nil {
+		for _, fab := range []*simnet.Fabric{d.IB, d.Eth10G, d.Eth1G} {
+			if fab == nil {
+				continue
+			}
+			fi := simnet.NewFaultInjector(*opts.Faults)
+			fab.SetFaults(fi)
+			d.Injectors = append(d.Injectors, fi)
+		}
+	}
 
 	// Socket providers, seated on their fabrics.
 	seat := func(t Transport, model *sockstream.Provider, fab *simnet.Fabric) {
@@ -257,6 +277,26 @@ func (d *Deployment) newClient(t Transport, behaviors mcclient.Behaviors, unreli
 	}
 	return c, nil
 }
+
+// FaultStats sums delivery verdicts across every fabric's injector.
+func (d *Deployment) FaultStats() (delivered, dropped, corrupted uint64) {
+	for _, fi := range d.Injectors {
+		del, drop, corr := fi.Stats()
+		delivered += del
+		dropped += drop
+		corrupted += corr
+	}
+	return delivered, dropped, corrupted
+}
+
+// Provider exposes the seated socket provider for a transport (nil for
+// UCRIB or transports absent from the profile) — benches read its
+// retransmission counter.
+func (d *Deployment) Provider(t Transport) *sockstream.Provider { return d.providers[t] }
+
+// Runtime exposes the client's UCR runtime (nil on socket transports) —
+// benches read its HCA retransmission counter.
+func (c *Client) Runtime() *ucr.Runtime { return c.rt }
 
 // Close tears the client down.
 func (c *Client) Close() {

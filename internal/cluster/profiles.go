@@ -103,12 +103,17 @@ func ClusterA() *Profile {
 			HeaderBytes:       30,
 			MTU:               2048,
 			InlineMax:         128,
+			RetryCount:        7,
+			AckTimeout:        12 * us,
+			RNRRetry:          6,
+			RNRTimer:          20 * us,
 		},
 		UCR: ucr.Config{
 			EagerThreshold:  8192,
 			Credits:         64,
 			PackBytesPerSec: 4e9,
 			HandlerOverhead: 400,
+			AMRetries:       3,
 		},
 	}
 	eth10 := simnet.FabricSpec{
@@ -129,6 +134,7 @@ func ClusterA() *Profile {
 
 	p.IPoIBModel = &sockstream.Provider{
 		Name:            string(IPoIB),
+		RTOMin:          200 * simnet.Millisecond,
 		SendSyscall:     9 * us,
 		SendDeferred:    7 * us,
 		RecvSyscall:     13 * us,
@@ -144,6 +150,7 @@ func ClusterA() *Profile {
 	}
 	p.SDPModel = &sockstream.Provider{
 		Name:            string(SDP),
+		RTOMin:          2 * simnet.Millisecond,
 		SendSyscall:     8 * us,
 		SendDeferred:    6 * us,
 		RecvSyscall:     12 * us,
@@ -159,6 +166,7 @@ func ClusterA() *Profile {
 	}
 	p.TOE10GModel = &sockstream.Provider{
 		Name:            string(TOE10G),
+		RTOMin:          50 * simnet.Millisecond,
 		SendSyscall:     7 * us,
 		SendDeferred:    2 * us,
 		RecvSyscall:     10 * us,
@@ -174,6 +182,7 @@ func ClusterA() *Profile {
 	}
 	p.TCP1GModel = &sockstream.Provider{
 		Name:            string(TCP1G),
+		RTOMin:          200 * simnet.Millisecond,
 		SendSyscall:     9 * us,
 		SendDeferred:    4 * us,
 		RecvSyscall:     14 * us,
@@ -217,16 +226,22 @@ func ClusterB() *Profile {
 			HeaderBytes:       30,
 			MTU:               2048,
 			InlineMax:         128,
+			RetryCount:        7,
+			AckTimeout:        8 * us,
+			RNRRetry:          6,
+			RNRTimer:          16 * us,
 		},
 		UCR: ucr.Config{
 			EagerThreshold:  8192,
 			Credits:         64,
 			PackBytesPerSec: 5e9,
 			HandlerOverhead: 300,
+			AMRetries:       3,
 		},
 	}
 	p.IPoIBModel = &sockstream.Provider{
 		Name:            string(IPoIB),
+		RTOMin:          200 * simnet.Millisecond,
 		SendSyscall:     4 * us,
 		SendDeferred:    6 * us,
 		RecvSyscall:     5 * us,
@@ -242,6 +257,7 @@ func ClusterB() *Profile {
 	}
 	p.SDPModel = &sockstream.Provider{
 		Name:            string(SDP),
+		RTOMin:          2 * simnet.Millisecond,
 		SendSyscall:     3 * us,
 		SendDeferred:    6 * us,
 		RecvSyscall:     5 * us,
@@ -272,4 +288,12 @@ func ProfileByName(name string) *Profile {
 		return ClusterB()
 	}
 	return ClusterA()
+}
+
+// LossyFaults builds the fault-sweep injector configuration: a seeded,
+// per-pair deterministic drop stream at dropPct percent loss. The same
+// (dropPct, seed) always yields the same verdict sequence, so sweeps
+// are reproducible run to run.
+func LossyFaults(dropPct float64, seed uint64) *simnet.FaultConfig {
+	return &simnet.FaultConfig{Seed: seed, DropRate: dropPct / 100}
 }

@@ -8,6 +8,7 @@ package mcclient
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/memcached"
 	"repro/internal/simnet"
@@ -21,6 +22,9 @@ var (
 	ErrCASExists  = errors.New("mcclient: CAS id mismatch")
 	ErrBadValue   = errors.New("mcclient: non-numeric value for incr/decr")
 	ErrServerDown = errors.New("mcclient: server unreachable")
+	// ErrServerError is a server-side failure distinct from a miss or a
+	// caller mistake (e.g. SERVER_ERROR out of memory growing a value).
+	ErrServerError = errors.New("mcclient: server error")
 )
 
 // Distribution selects the key→server mapping.
@@ -54,6 +58,15 @@ type Behaviors struct {
 	// no reply counter. Sets pipeline without waiting on the server;
 	// storage failures (OOM with -M, oversized items) are not reported.
 	NoReply bool
+	// Retries is how many times an operation that fails with
+	// ErrServerDown is retried against the same owner (with exponential
+	// backoff) before failover/auto-eject kicks in. Zero disables
+	// retrying (libmemcached's MEMCACHED_BEHAVIOR_RETRY_TIMEOUT spirit:
+	// transient faults shouldn't eject a healthy server).
+	Retries int
+	// RetryBackoff is the first retry's virtual-time backoff; it
+	// doubles per attempt. Zero gets a 100 µs default when Retries > 0.
+	RetryBackoff simnet.Duration
 }
 
 // DefaultBehaviors returns the paper's client configuration.
@@ -87,10 +100,13 @@ type Transport interface {
 type Client struct {
 	behaviors Behaviors
 	servers   []Transport
-	ring      *ketamaRing // non-nil for DistKetama
 	clk       *simnet.VClock
 
-	// Failover state (see failover.go).
+	// Failover state (see failover.go). A Client is single-actor for
+	// operations, but Ejected/LiveServers/ServerFor are read from other
+	// goroutines in tests and monitoring, so the state is mutex-guarded.
+	failMu  sync.Mutex
+	ring    *ketamaRing // non-nil for DistKetama
 	dead    []bool
 	liveIdx []int
 }
@@ -176,7 +192,12 @@ func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
 		if idx < 0 {
 			return out, ErrNoServers
 		}
-		part, err := c.servers[idx].GetMulti(c.clk, group)
+		var part map[string][]byte
+		err := c.opWithRetry(c.servers[idx], func(t Transport) error {
+			var err error
+			part, err = t.GetMulti(c.clk, group)
+			return err
+		})
 		if err == ErrServerDown && c.behaviors.AutoEject {
 			// Eject and refetch this group via the new owners.
 			c.eject(idx)

@@ -17,6 +17,25 @@ type fakeTransport struct {
 	calls  int
 	broken bool
 	closed bool
+
+	// healAfter, when positive, clears broken after that many failed
+	// calls — a transient fault for retry tests.
+	healAfter int
+}
+
+// failing reports whether this call should fail, ticking the transient-
+// fault countdown.
+func (f *fakeTransport) failing() bool {
+	if !f.broken {
+		return false
+	}
+	if f.healAfter > 0 {
+		f.healAfter--
+		if f.healAfter == 0 {
+			f.broken = false
+		}
+	}
+	return true
 }
 
 type fakeItem struct {
@@ -33,7 +52,7 @@ func (f *fakeTransport) Name() string { return f.name }
 
 func (f *fakeTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime int64, value []byte) (memcached.StoreResult, error) {
 	f.calls++
-	if f.broken {
+	if f.failing() {
 		return 0, ErrServerDown
 	}
 	v := make([]byte, len(value))
@@ -44,7 +63,7 @@ func (f *fakeTransport) Set(clk *simnet.VClock, key string, flags uint32, exptim
 
 func (f *fakeTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
 	f.calls++
-	if f.broken {
+	if f.failing() {
 		return nil, 0, 0, false, ErrServerDown
 	}
 	it, ok := f.store[key]
@@ -56,7 +75,7 @@ func (f *fakeTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uin
 
 func (f *fakeTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error) {
 	f.calls++
-	if f.broken {
+	if f.failing() {
 		return nil, ErrServerDown
 	}
 	out := make(map[string][]byte, len(keys))
@@ -70,7 +89,7 @@ func (f *fakeTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string]
 
 func (f *fakeTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
 	f.calls++
-	if f.broken {
+	if f.failing() {
 		return false, ErrServerDown
 	}
 	_, ok := f.store[key]

@@ -1,13 +1,21 @@
 package mcclient
 
+import "repro/internal/simnet"
+
 // Server failover: with Behaviors.AutoEject set (libmemcached's
 // AUTO_EJECT_HOSTS), a server whose transport reports ErrServerDown is
 // removed from the pool and the keyspace re-hashes over the survivors —
 // the "corrective action" the paper's §IV-A timeout design exists to
 // enable. With ketama distribution only the dead server's arc moves.
+//
+// All pool state (dead, liveIdx, ring) is guarded by c.failMu: the
+// operating actor mutates it during ejection while monitoring
+// goroutines read it concurrently.
 
 // eject marks server idx dead and rebuilds the live mapping.
 func (c *Client) eject(idx int) {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	if c.dead == nil {
 		c.dead = make([]bool, len(c.servers))
 	}
@@ -15,11 +23,13 @@ func (c *Client) eject(idx int) {
 		return
 	}
 	c.dead[idx] = true
-	c.rebuildLive()
+	c.rebuildLiveLocked()
 }
 
 // Ejected reports which servers have been ejected.
 func (c *Client) Ejected() []int {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	var out []int
 	for i, d := range c.dead {
 		if d {
@@ -31,14 +41,17 @@ func (c *Client) Ejected() []int {
 
 // LiveServers reports how many servers remain in the pool.
 func (c *Client) LiveServers() int {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	if c.liveIdx == nil {
 		return len(c.servers)
 	}
 	return len(c.liveIdx)
 }
 
-// rebuildLive recomputes the live index list and, for ketama, the ring.
-func (c *Client) rebuildLive() {
+// rebuildLiveLocked recomputes the live index list and, for ketama, the
+// ring. Caller holds c.failMu.
+func (c *Client) rebuildLiveLocked() {
 	c.liveIdx = c.liveIdx[:0]
 	var names []string
 	for i, s := range c.servers {
@@ -59,9 +72,11 @@ func (c *Client) rebuildLive() {
 // liveServerFor maps a key to a live server index, or -1 if the pool is
 // empty.
 func (c *Client) liveServerFor(key string) int {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	if c.liveIdx == nil {
 		// No ejections yet: the full pool is live.
-		return c.serverForFull(key)
+		return c.serverForFullLocked(key)
 	}
 	if len(c.liveIdx) == 0 {
 		return -1
@@ -72,24 +87,48 @@ func (c *Client) liveServerFor(key string) int {
 	return c.liveIdx[int(keyHash(key)%uint64(len(c.liveIdx)))]
 }
 
-// serverForFull is the mapping over the full pool (no ejections).
-func (c *Client) serverForFull(key string) int {
+// serverForFullLocked is the mapping over the full pool (no ejections).
+// Caller holds c.failMu.
+func (c *Client) serverForFullLocked(key string) int {
 	if c.ring != nil {
 		return c.ring.lookup(key)
 	}
 	return int(keyHash(key) % uint64(len(c.servers)))
 }
 
-// withTransport runs op against the key's server, ejecting and
-// re-hashing on ErrServerDown when AutoEject is enabled. Each retry
-// targets the key's new owner; the loop is bounded by the pool size.
+// opWithRetry runs op against t, retrying ErrServerDown failures up to
+// Behaviors.Retries times with exponential virtual-time backoff. A
+// transient fault (lossy fabric, momentary partition) heals inside the
+// backoff window and the server stays in the pool; only a persistently
+// dead server escapes to the eject path.
+func (c *Client) opWithRetry(t Transport, op func(Transport) error) error {
+	err := op(t)
+	if err != ErrServerDown || c.behaviors.Retries <= 0 {
+		return err
+	}
+	backoff := c.behaviors.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * simnet.Microsecond
+	}
+	for r := 0; r < c.behaviors.Retries && err == ErrServerDown; r++ {
+		c.clk.Advance(backoff)
+		backoff *= 2
+		err = op(t)
+	}
+	return err
+}
+
+// withTransport runs op against the key's server, with bounded
+// retry+backoff on the owner, then ejecting and re-hashing on
+// ErrServerDown when AutoEject is enabled. Each eject retry targets the
+// key's new owner; the loop is bounded by the pool size.
 func (c *Client) withTransport(key string, op func(Transport) error) error {
 	for attempt := 0; attempt <= len(c.servers); attempt++ {
 		idx := c.liveServerFor(key)
 		if idx < 0 {
 			return ErrNoServers
 		}
-		err := op(c.servers[idx])
+		err := c.opWithRetry(c.servers[idx], op)
 		if err == ErrServerDown && c.behaviors.AutoEject {
 			c.eject(idx)
 			continue

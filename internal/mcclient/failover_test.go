@@ -2,7 +2,11 @@ package mcclient
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
 )
 
 func newEjectClient(t *testing.T, n int, dist Distribution) (*Client, []*fakeTransport) {
@@ -140,5 +144,197 @@ func TestGetMultiWithEjection(t *testing.T) {
 	}
 	if len(c.Ejected()) != 1 {
 		t.Fatalf("Ejected = %v", c.Ejected())
+	}
+}
+
+// raceTransport is a fakeTransport that is safe for concurrent use, so
+// ejection can be exercised from several goroutines under -race: the
+// transport is guarded here, and the client's pool state (dead, liveIdx,
+// ring) must be guarded by the client itself.
+type raceTransport struct {
+	name string
+	mu   sync.Mutex
+	st   map[string][]byte
+	dead bool
+}
+
+func (r *raceTransport) setDead(v bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dead = v
+}
+
+func (r *raceTransport) Name() string { return r.name }
+
+func (r *raceTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime int64, value []byte) (memcached.StoreResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead {
+		return 0, ErrServerDown
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	r.st[key] = v
+	return memcached.Stored, nil
+}
+
+func (r *raceTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead {
+		return nil, 0, 0, false, ErrServerDown
+	}
+	v, ok := r.st[key]
+	return v, 0, 0, ok, nil
+}
+
+func (r *raceTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead {
+		return nil, ErrServerDown
+	}
+	out := map[string][]byte{}
+	for _, k := range keys {
+		if v, ok := r.st[k]; ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+func (r *raceTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead {
+		return false, ErrServerDown
+	}
+	_, ok := r.st[key]
+	delete(r.st, key)
+	return ok, nil
+}
+
+func (r *raceTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, incr bool) (uint64, bool, bool, error) {
+	return 0, false, false, nil
+}
+
+func (r *raceTransport) Close() {}
+
+// TestConcurrentEjection hammers Get from several goroutines while a
+// server dies mid-stream: every goroutine that hits the dead server
+// races to eject it and rebuild the ring. Run under -race this covers
+// the failMu guarding of dead/liveIdx/ring against concurrent readers
+// (ServerFor, Ejected, LiveServers) and writers (eject).
+func TestConcurrentEjection(t *testing.T) {
+	const n = 4
+	rts := make([]*raceTransport, n)
+	trs := make([]Transport, n)
+	for i := range rts {
+		rts[i] = &raceTransport{name: fmt.Sprintf("server%d", i), st: map[string][]byte{}}
+		trs[i] = rts[i]
+	}
+	b := DefaultBehaviors()
+	b.Distribution = DistKetama
+	b.AutoEject = true
+	c, err := New(newTestClock(), b, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := c.Set(fmt.Sprintf("key-%d", i), []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key-%d", (g*37+i)%200)
+				_, _, _, err := c.Get(key)
+				if err != nil && err != ErrCacheMiss {
+					t.Errorf("Get(%s) = %v", key, err)
+					return
+				}
+				// Monitoring reads race the eject writers.
+				c.ServerFor(key)
+				c.Ejected()
+				c.LiveServers()
+			}
+		}(g)
+	}
+	close(start)
+	rts[1].setDead(true)
+	wg.Wait()
+
+	for _, idx := range c.Ejected() {
+		if idx != 1 {
+			t.Fatalf("ejected healthy server %d", idx)
+		}
+	}
+	if c.LiveServers() < n-1 {
+		t.Fatalf("LiveServers = %d", c.LiveServers())
+	}
+}
+
+// TestRetryBackoffEjectsDeadServer: with Retries set, a dead owner is
+// retried with exponential virtual-time backoff before the eject path
+// fires; the key then re-hashes to a survivor.
+func TestRetryBackoffEjectsDeadServer(t *testing.T) {
+	c, fakes := newEjectClient(t, 3, DistModula)
+	c.behaviors.Retries = 2
+	c.behaviors.RetryBackoff = 100 * simnet.Microsecond
+
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("probe-%d", i)
+		if c.ServerFor(key) == 1 {
+			break
+		}
+	}
+	fakes[1].broken = true
+	before := c.Clock().Now()
+	if err := c.Set(key, []byte("v"), 0, 0); err != nil {
+		t.Fatalf("Set with retry+eject = %v", err)
+	}
+	// 1 try + 2 retries against the dead owner before ejecting.
+	if fakes[1].calls != 3 {
+		t.Fatalf("dead server saw %d calls, want 3", fakes[1].calls)
+	}
+	// Backoff doubles: 100 µs + 200 µs of virtual time.
+	if advanced := c.Clock().Now() - before; advanced < 300*simnet.Microsecond {
+		t.Fatalf("clock advanced %v, want >= 300 µs of backoff", advanced)
+	}
+	if got := c.Ejected(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Ejected = %v", got)
+	}
+	if v, _, _, err := c.Get(key); err != nil || string(v) != "v" {
+		t.Fatalf("Get after retry+eject = (%q, %v)", v, err)
+	}
+}
+
+// TestRetryHealsTransientFault: a fault that clears within the backoff
+// window must not eject the server.
+func TestRetryHealsTransientFault(t *testing.T) {
+	c, fakes := newEjectClient(t, 3, DistModula)
+	c.behaviors.Retries = 3
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("probe-%d", i)
+		if c.ServerFor(key) == 0 {
+			break
+		}
+	}
+	fakes[0].broken = true
+	fakes[0].healAfter = 2 // two failures, then recover
+	if err := c.Set(key, []byte("v"), 0, 0); err != nil {
+		t.Fatalf("Set through transient fault = %v", err)
+	}
+	if len(c.Ejected()) != 0 {
+		t.Fatalf("transient fault ejected a healthy server: %v", c.Ejected())
 	}
 }

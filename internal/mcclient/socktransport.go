@@ -193,6 +193,8 @@ func (t *SockTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, i
 		return 0, false, false, nil
 	case strings.HasPrefix(line, "CLIENT_ERROR"):
 		return 0, true, true, nil
+	case strings.HasPrefix(line, "SERVER_ERROR"):
+		return 0, true, false, ErrServerError
 	default:
 		val, perr := strconv.ParseUint(line, 10, 64)
 		if perr != nil {

@@ -139,14 +139,49 @@ func (t *UCRTransport) Name() string { return t.name }
 // Endpoint exposes the UCR endpoint (tests).
 func (t *UCRTransport) Endpoint() *ucr.Endpoint { return t.ep }
 
-// awaitReply blocks on counter C (§V-B: "a blocking call with client
-// specified timeout").
-func (t *UCRTransport) awaitReply(clk *simnet.VClock) error {
-	t.replies++
-	if err := t.ctx.WaitCounter(clk, t.ctr, t.replies, t.timeout); err != nil {
-		return ErrServerDown
+// request issues a request AM via send and blocks on counter C (§V-B:
+// "a blocking call with client specified timeout"). With the runtime's
+// AMRetries knob set, a timed-out request is re-sent — the per-attempt
+// wait is the op timeout split across attempts, so the overall deadline
+// holds — and only after the budget is exhausted is the endpoint marked
+// failed (§IV-A: the client decides the server has gone down, isolating
+// this endpoint without touching the runtime).
+//
+// Retried requests are idempotent at this protocol level: a duplicate
+// reply only bumps counter C again, which the resync below absorbs.
+func (t *UCRTransport) request(clk *simnet.VClock, send func() error) error {
+	target := t.replies + 1
+	attempts := 1 + t.rt.Config().AMRetries
+	var per simnet.Duration
+	if t.timeout > 0 {
+		per = t.timeout / simnet.Duration(attempts)
+		if per <= 0 {
+			per = 1
+		}
 	}
-	return nil
+	for a := 0; a < attempts; a++ {
+		if err := send(); err != nil {
+			t.replies = target
+			return ErrServerDown
+		}
+		err := t.ctx.WaitCounter(clk, t.ctr, target, per)
+		if err == nil {
+			// A retried request can produce duplicate replies; resync so
+			// the next wait targets the true counter position.
+			if v := t.ctr.Value(); v > target {
+				target = v
+			}
+			t.replies = target
+			return nil
+		}
+		if err != ucr.ErrTimeout {
+			t.replies = target
+			return ErrServerDown
+		}
+	}
+	t.replies = target
+	t.ep.MarkFailed()
+	return ErrServerDown
 }
 
 // Set implements Transport. With the NoReply behaviour the request
@@ -172,10 +207,9 @@ func (t *UCRTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime
 	hdr := memcached.EncodeSetReq(memcached.SetReq{
 		ReplyCtr: t.ctr.ID(), Flags: flags, Exptime: exptime, Key: key,
 	})
-	if err := t.ep.Send(clk, memcached.AMSet, hdr, value, nil, 0, nil); err != nil {
-		return 0, ErrServerDown
-	}
-	if err := t.awaitReply(clk); err != nil {
+	if err := t.request(clk, func() error {
+		return t.ep.Send(clk, memcached.AMSet, hdr, value, nil, 0, nil)
+	}); err != nil {
 		return 0, err
 	}
 	if t.gotStatus.Status != memcached.AMOK {
@@ -187,10 +221,9 @@ func (t *UCRTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime
 // Get implements Transport.
 func (t *UCRTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
 	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: t.ctr.ID(), Key: key})
-	if err := t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil); err != nil {
-		return nil, 0, 0, false, ErrServerDown
-	}
-	if err := t.awaitReply(clk); err != nil {
+	if err := t.request(clk, func() error {
+		return t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
+	}); err != nil {
 		return nil, 0, 0, false, err
 	}
 	if t.gotGet.Status != memcached.AMOK {
@@ -209,10 +242,9 @@ func (t *UCRTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][
 		return map[string][]byte{}, nil
 	}
 	hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: uint64(t.ctr.ID()), Keys: keys})
-	if err := t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil); err != nil {
-		return nil, ErrServerDown
-	}
-	if err := t.awaitReply(clk); err != nil {
+	if err := t.request(clk, func() error {
+		return t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil)
+	}); err != nil {
 		return nil, err
 	}
 	out := make(map[string][]byte, len(t.gotMGet.Items))
@@ -232,10 +264,9 @@ func (t *UCRTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][
 // Delete implements Transport.
 func (t *UCRTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
 	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: t.ctr.ID(), Key: key})
-	if err := t.ep.Send(clk, memcached.AMDelete, hdr, nil, nil, 0, nil); err != nil {
-		return false, ErrServerDown
-	}
-	if err := t.awaitReply(clk); err != nil {
+	if err := t.request(clk, func() error {
+		return t.ep.Send(clk, memcached.AMDelete, hdr, nil, nil, 0, nil)
+	}); err != nil {
 		return false, err
 	}
 	return t.gotStatus.Status == memcached.AMOK, nil
@@ -248,10 +279,9 @@ func (t *UCRTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, in
 		op = memcached.AMDecr
 	}
 	hdr := memcached.EncodeNumReq(memcached.NumReq{ReplyCtr: t.ctr.ID(), Delta: delta, Key: key})
-	if err := t.ep.Send(clk, op, hdr, nil, nil, 0, nil); err != nil {
-		return 0, false, false, ErrServerDown
-	}
-	if err := t.awaitReply(clk); err != nil {
+	if err := t.request(clk, func() error {
+		return t.ep.Send(clk, op, hdr, nil, nil, 0, nil)
+	}); err != nil {
 		return 0, false, false, err
 	}
 	switch t.gotNum.Status {
@@ -259,6 +289,10 @@ func (t *UCRTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, in
 		return t.gotNum.Value, true, false, nil
 	case memcached.AMBadValue:
 		return 0, true, true, nil
+	case memcached.AMError:
+		// Server-side failure (e.g. OOM growing the value): distinct
+		// from a miss and from a non-numeric value.
+		return 0, true, false, ErrServerError
 	default:
 		return 0, false, false, nil
 	}

@@ -209,7 +209,7 @@ func (pc *ProtoConn) cmdIncrDecr(fields []string, now simnet.Time) error {
 	if err != nil {
 		return pc.reply("CLIENT_ERROR invalid numeric delta argument\r\n")
 	}
-	val, found, bad := pc.store.IncrDecr(fields[1], delta, fields[0] == "incr", now)
+	val, found, bad, oom := pc.store.IncrDecr(fields[1], delta, fields[0] == "incr", now)
 	if noreply {
 		return nil
 	}
@@ -218,6 +218,8 @@ func (pc *ProtoConn) cmdIncrDecr(fields []string, now simnet.Time) error {
 		return pc.reply("NOT_FOUND\r\n")
 	case bad:
 		return pc.reply("CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+	case oom:
+		return pc.reply("SERVER_ERROR out of memory storing object\r\n")
 	default:
 		return pc.reply(strconv.FormatUint(val, 10) + "\r\n")
 	}

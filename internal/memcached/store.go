@@ -292,14 +292,31 @@ func (s *Store) setLocked(key string, flags uint32, exptime int64, value []byte,
 	return Stored
 }
 
+// releasePin drops a refcount taken inside the lock, freeing the chunk
+// if the item was unlinked (evicted/replaced) while pinned.
+func (s *Store) releasePin(it *Item) {
+	it.refcount--
+	if !it.linked && !it.pinned() {
+		s.arena.Free(it.chunk)
+	}
+}
+
 // concatLocked implements append/prepend.
+//
+// The old item must be pinned across the allocation: newItemLocked may
+// evict LRU victims to make room, and without the pin the victim can be
+// old itself — freeing the chunk old.value aliases, so the copy below
+// would read (or, after the free list recycles the chunk into the new
+// item, overwrite) freed slab memory.
 func (s *Store) concatLocked(key string, add []byte, prepend bool, now simnet.Time) StoreResult {
 	old := s.lookupLocked(key, now)
 	if old == nil {
 		return NotStored
 	}
+	old.refcount++
 	it, res := s.newItemLocked(key, old.flags, 0, len(old.value)+len(add), now)
 	if res != Stored {
+		s.releasePin(old)
 		return res
 	}
 	it.expireAt = old.expireAt
@@ -310,6 +327,7 @@ func (s *Store) concatLocked(key string, add []byte, prepend bool, now simnet.Ti
 		copy(it.value, old.value)
 		copy(it.value[len(old.value):], add)
 	}
+	s.releasePin(old)
 	s.linkLocked(it, now)
 	return Stored
 }
@@ -391,8 +409,10 @@ func (s *Store) Delete(key string, now simnet.Time) bool {
 }
 
 // IncrDecr adjusts a numeric value. badValue=true means the stored value
-// is not an unsigned number (protocol CLIENT_ERROR).
-func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (newVal uint64, found, badValue bool) {
+// is not an unsigned number (protocol CLIENT_ERROR); oom=true means the
+// grown value could not be allocated (protocol SERVER_ERROR) — a server
+// failure, distinct from the caller's mistake.
+func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (newVal uint64, found, badValue, oom bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	it := s.lookupLocked(key, now)
@@ -402,11 +422,11 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		} else {
 			s.stats.DecrMisses++
 		}
-		return 0, false, false
+		return 0, false, false, false
 	}
 	cur, err := strconv.ParseUint(string(it.value), 10, 64)
 	if err != nil {
-		return 0, true, true
+		return 0, true, true, false
 	}
 	if incr {
 		s.stats.IncrHits++
@@ -428,16 +448,21 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		s.casCounter++
 		it.casID = s.casCounter
 	} else {
+		// Pin the current item across the allocation: newItemLocked may
+		// evict it to make room, and the pin keeps its chunk (and the
+		// expiry we carry over) alive until the swap completes.
 		flags, exp := it.flags, it.expireAt
+		it.refcount++
 		nit, res := s.newItemLocked(key, flags, 0, len(text), now)
+		s.releasePin(it)
 		if res != Stored {
-			return 0, true, true
+			return 0, true, false, true
 		}
 		nit.expireAt = exp
 		copy(nit.value, text)
 		s.linkLocked(nit, now)
 	}
-	return cur, true, false
+	return cur, true, false, false
 }
 
 // Touch updates an item's expiry.

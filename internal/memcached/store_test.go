@@ -412,22 +412,22 @@ func TestStoreFlushAll(t *testing.T) {
 func TestStoreIncrDecr(t *testing.T) {
 	s := newTestStore()
 	s.Set("n", 0, 0, []byte("10"), 0)
-	if v, found, bad := s.IncrDecr("n", 5, true, 0); v != 15 || !found || bad {
+	if v, found, bad, _ := s.IncrDecr("n", 5, true, 0); v != 15 || !found || bad {
 		t.Fatalf("Incr = (%d,%v,%v)", v, found, bad)
 	}
-	if v, _, _ := s.IncrDecr("n", 20, false, 0); v != 0 {
+	if v, _, _, _ := s.IncrDecr("n", 20, false, 0); v != 0 {
 		t.Fatalf("Decr floor = %d, want 0", v)
 	}
-	if _, found, _ := s.IncrDecr("missing", 1, true, 0); found {
+	if _, found, _, _ := s.IncrDecr("missing", 1, true, 0); found {
 		t.Fatal("incr on missing key found")
 	}
 	s.Set("s", 0, 0, []byte("abc"), 0)
-	if _, found, bad := s.IncrDecr("s", 1, true, 0); !found || !bad {
-		t.Fatal("non-numeric incr should report badValue")
+	if _, found, bad, oom := s.IncrDecr("s", 1, true, 0); !found || !bad || oom {
+		t.Fatal("non-numeric incr should report badValue, not oom")
 	}
 	// Growth: 9 + 1 = 10 needs one more digit (realloc path).
 	s.Set("g", 0, 0, []byte("9"), 0)
-	if v, _, _ := s.IncrDecr("g", 1, true, 0); v != 10 {
+	if v, _, _, _ := s.IncrDecr("g", 1, true, 0); v != 10 {
 		t.Fatalf("Incr growth = %d", v)
 	}
 	got, _, _, _ := s.Get("g", 0)

@@ -208,13 +208,15 @@ func (s *Server) amNumComplete(incr bool) ucr.CompletionHandler {
 		}
 		clk.Advance(s.cfg.OpCost)
 		s.OpsServed.Add(1)
-		val, found, bad := s.store.IncrDecr(req.Key, req.Delta, incr, clk.Now())
+		val, found, bad, oom := s.store.IncrDecr(req.Key, req.Delta, incr, clk.Now())
 		status := AMOK
 		switch {
 		case !found:
 			status = AMMiss
 		case bad:
 			status = AMBadValue
+		case oom:
+			status = AMError
 		}
 		reply := EncodeNumReply(NumReply{Status: status, Value: val})
 		_ = ep.Send(clk, AMNumReply, reply, nil, nil, req.ReplyCtr, nil)

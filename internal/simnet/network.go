@@ -101,6 +101,10 @@ type Fabric struct {
 	mu   sync.Mutex
 	up   map[*Node]*Resource // node → switch
 	down map[*Node]*Resource // switch → node
+
+	// faults, when non-nil, makes DeliverFaulty lossy. Plain Deliver
+	// (used by connection setup paths) is never affected.
+	faults atomic.Pointer[FaultInjector]
 }
 
 // AddFabric creates a fabric in the network. The name must be unique.
@@ -201,6 +205,59 @@ func (f *Fabric) Deliver(from, to *Node, sendAt Time, bytes int) (arrive Time, e
 	// full serialization on the downlink).
 	downStart := downRes.Acquire(atSwitch, tx)
 	return downStart + tx + f.spec.Propagation/2, nil
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector on the
+// fabric. Only DeliverFaulty consults it; control-plane paths that use
+// plain Deliver (CM handshakes, socket dials) stay lossless, matching
+// real deployments where connection setup is retried at a higher layer.
+func (f *Fabric) SetFaults(fi *FaultInjector) { f.faults.Store(fi) }
+
+// Faults returns the installed fault injector, or nil.
+func (f *Fabric) Faults() *FaultInjector { return f.faults.Load() }
+
+// DeliverFaulty is Deliver plus the fabric's fault model. With no
+// injector installed (or on loopback) it is exactly Deliver — same
+// arithmetic, same resource charges — so a lossless run is bit-identical
+// to one that never heard of faults.
+//
+// A Dropped message charges the sender's uplink (the bytes left the
+// NIC) but never touches the receiver's downlink; the returned time is
+// when the fabric discarded it. A Corrupted message traverses the full
+// path — both links are charged — and the returned time is when the
+// receiver's NIC discards the bad frame. In both cases err is nil: the
+// wire worked, the payload just didn't survive. Callers decide whether
+// to retransmit.
+func (f *Fabric) DeliverFaulty(from, to *Node, sendAt Time, bytes int) (arrive Time, outcome DeliveryOutcome, err error) {
+	fi := f.faults.Load()
+	if fi == nil || from == to {
+		arrive, err = f.Deliver(from, to, sendAt, bytes)
+		return arrive, Delivered, err
+	}
+	if from.Failed() {
+		return 0, Delivered, &ErrUnreachable{f.spec.Name, from.name, to.name, "sender failed"}
+	}
+	if to.Failed() {
+		return 0, Delivered, &ErrUnreachable{f.spec.Name, from.name, to.name, "receiver failed"}
+	}
+	upRes, _ := f.links(from)
+	_, downRes := f.links(to)
+	if upRes == nil || downRes == nil {
+		return 0, Delivered, &ErrUnreachable{f.spec.Name, from.name, to.name, "not attached"}
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	outcome = fi.judge(from, to)
+	tx := BytesDuration(bytes, f.spec.LinkBytesPerSec)
+	upStart := upRes.Acquire(sendAt, tx)
+	atSwitch := upStart + tx + f.spec.Propagation/2 + f.spec.SwitchDelay
+	if outcome == Dropped {
+		// Lost in the fabric: uplink was consumed, receiver never sees it.
+		return atSwitch, Dropped, nil
+	}
+	downStart := downRes.Acquire(atSwitch, tx)
+	return downStart + tx + f.spec.Propagation/2, outcome, nil
 }
 
 // Utilization reports busy time per link resource, keyed by resource name.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simnet"
@@ -65,6 +66,16 @@ type Provider struct {
 	NagleDelay simnet.Duration
 	// Jitter, if set, returns an extra per-segment delay (SDP on QDR).
 	Jitter func(*simnet.Rand) simnet.Duration
+	// RTOMin is the stack's minimum retransmission timeout: how long a
+	// lost segment waits before its first retransmission (Linux TCP
+	// floors this at 200 ms, which is why loss devastates kernel-stack
+	// tail latency). Doubles per retry (exponential backoff).
+	RTOMin simnet.Duration
+	// RTORetries bounds retransmission attempts per segment before the
+	// connection is declared unreachable.
+	RTORetries int
+
+	retransmits atomic.Uint64
 
 	mu        sync.Mutex
 	listeners map[string]*simnet.Mailbox[*dialReq]
@@ -86,10 +97,20 @@ func (p *Provider) init() {
 	if p.CopyBytesPerSec <= 0 {
 		p.CopyBytesPerSec = 4e9
 	}
+	if p.RTOMin <= 0 {
+		p.RTOMin = 200 * simnet.Millisecond // Linux TCP_RTO_MIN
+	}
+	if p.RTORetries <= 0 {
+		p.RTORetries = 8
+	}
 	if p.listeners == nil {
 		p.listeners = make(map[string]*simnet.Mailbox[*dialReq])
 	}
 }
+
+// Retransmits reports how many segments this provider's connections
+// have retransmitted (both directions share the provider's counter).
+func (p *Provider) Retransmits() uint64 { return p.retransmits.Load() }
 
 func (p *Provider) String() string { return fmt.Sprintf("Provider(%s)", p.Name) }
 
@@ -113,6 +134,8 @@ func (p *Provider) Clone(fab *simnet.Fabric) *Provider {
 		ConnSetup:       p.ConnSetup,
 		NagleDelay:      p.NagleDelay,
 		Jitter:          p.Jitter,
+		RTOMin:          p.RTOMin,
+		RTORetries:      p.RTORetries,
 	}
 }
 
@@ -322,9 +345,36 @@ func (c *Conn) Write(b []byte) (int, error) {
 		if p.Jitter != nil {
 			sendAt += p.Jitter(ep.rng)
 		}
-		arrive, err := p.Fabric.Deliver(ep.node, peer.node, sendAt+p.SendDeferred, n+p.WireHeader)
+		arrive, outcome, err := p.Fabric.DeliverFaulty(ep.node, peer.node, sendAt+p.SendDeferred, n+p.WireHeader)
 		if err != nil {
 			return written, ErrUnreachable
+		}
+		if outcome != simnet.Delivered {
+			// Kernel TCP retransmission: the caller's thread is NOT
+			// blocked (the stack retransmits asynchronously), but the
+			// segment's arrival is pushed out by the RTO, which starts at
+			// RTOMin and doubles per attempt — the 200 ms floor is why
+			// loss collapses sockets tail latency while verbs-level
+			// retransmission (µs ack timeouts) barely registers.
+			rto := p.RTOMin
+			txAt := sendAt + p.SendDeferred
+			ok := false
+			for r := 0; r < p.RTORetries; r++ {
+				p.retransmits.Add(1)
+				txAt += rto
+				rto *= 2
+				arrive, outcome, err = p.Fabric.DeliverFaulty(ep.node, peer.node, txAt, n+p.WireHeader)
+				if err != nil {
+					return written, ErrUnreachable
+				}
+				if outcome == simnet.Delivered {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return written, ErrUnreachable
+			}
 		}
 		peer.in.Put(segment{data: chunk, arrive: arrive + p.RecvDeferred})
 		written += n

@@ -52,6 +52,13 @@ func (ep *Endpoint) Failed() bool { return ep.failed }
 
 func (ep *Endpoint) markFailed() { ep.failed = true }
 
+// MarkFailed lets an upper layer that has independently concluded the
+// peer is dead (e.g. an AM-level retry loop exhausting its budget)
+// isolate this endpoint: sends are rejected from now on, while the
+// runtime and every other endpoint keep working (§IV-A: "a client may
+// decide that a server has gone down").
+func (ep *Endpoint) MarkFailed() { ep.markFailed() }
+
 // Credits reports the current send window.
 func (ep *Endpoint) Credits() int { return ep.sendCredits }
 

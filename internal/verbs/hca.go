@@ -3,6 +3,7 @@ package verbs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simnet"
 )
@@ -19,6 +20,8 @@ type HCA struct {
 	recvEngine   *simnet.Resource
 	atomicEngine *simnet.Resource
 	atomicMu     sync.Mutex // serializes atomicApply, like the HCA does
+
+	retransmits atomic.Uint64
 
 	mu      sync.Mutex
 	nextQPN uint32
@@ -220,6 +223,13 @@ func (h *HCA) lookupQP(qpn uint32) (*QP, bool) {
 	h.mu.Unlock()
 	return qp, ok
 }
+
+// noteRetransmit counts one RC retransmission attempt on this adapter.
+func (h *HCA) noteRetransmit() { h.retransmits.Add(1) }
+
+// Retransmits reports how many RC retransmissions this adapter's QPs
+// have performed (loss and RNR retries combined).
+func (h *HCA) Retransmits() uint64 { return h.retransmits.Load() }
 
 // Utilization reports the busy time of the send and receive pipelines.
 func (h *HCA) Utilization() (send, recv simnet.Duration) {

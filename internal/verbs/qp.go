@@ -191,6 +191,40 @@ func (q *QP) resolveDest(wr SendWR, remote *QP) (*QP, error) {
 	return remote, nil
 }
 
+// transmit pushes bytes from src's node to dst's node through the
+// fabric's fault model, retransmitting on loss for RC transports.
+//
+// On a lossless fabric (no injector installed) the first iteration
+// returns immediately with exactly the plain-Deliver arrival time, so
+// the retry machinery costs nothing when disabled. On loss, an RC
+// sender waits AckTimeout for the missing ACK and retransmits, up to
+// RetryCount times; exhaustion reports StatusRetryExceeded. UD loss is
+// silent: the datagram is gone and delivered=false with StatusSuccess,
+// like real fire-and-forget datagrams.
+func (q *QP) transmit(src, dst *HCA, at simnet.Time, bytes int) (arrive simnet.Time, delivered bool, st Status) {
+	cfg := q.hca.cfg
+	for attempt := 0; ; attempt++ {
+		arr, outcome, derr := src.fabric.DeliverFaulty(src.node, dst.node, at, bytes)
+		if derr != nil {
+			if q.typ == UD {
+				return at, false, StatusSuccess
+			}
+			return at, false, StatusTransportError
+		}
+		if outcome == simnet.Delivered {
+			return arr, true, StatusSuccess
+		}
+		if q.typ == UD {
+			return arr, false, StatusSuccess
+		}
+		if attempt >= cfg.RetryCount {
+			return arr, false, StatusRetryExceeded
+		}
+		q.hca.noteRetransmit()
+		at = arr + cfg.AckTimeout
+	}
+}
+
 // postSendMsg implements the two-sided SEND.
 func (q *QP) postSendMsg(clk *simnet.VClock, wr SendWR, remote *QP) error {
 	cfg := q.hca.cfg
@@ -215,20 +249,32 @@ func (q *QP) postSendMsg(clk *simnet.VClock, wr SendWR, remote *QP) error {
 		return nil
 	}
 
-	arrive, derr := q.hca.fabric.Deliver(q.hca.node, dst.hca.node, depart, wireBytes(n, cfg))
-	if derr != nil {
-		status := StatusTransportError
-		if q.typ == UD {
-			// Datagrams are fire-and-forget: loss is silent.
-			status = StatusSuccess
+	arrive, delivered, st := q.transmit(q.hca, dst.hca, depart, wireBytes(n, cfg))
+	if !delivered {
+		if st == StatusRetryExceeded {
+			// IB semantics: retry exhaustion is fatal to the connection.
+			q.Modify(StateErr)
 		}
-		q.sendCQ.post(WC{ID: wr.ID, Op: OpSend, Status: status, ByteLen: n, QPN: q.qpn, Time: depart})
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpSend, Status: st, ByteLen: n, QPN: q.qpn, Time: depart})
 		return nil
 	}
 
 	// The payload is copied now (sender goroutine acts as the DMA
 	// engine); the stamp says when it becomes visible.
 	rstatus, rtime := dst.receive(wr.Local, wr.Imm, q.qpn, arrive)
+
+	// RNR retry: a reliable sender re-offers the message after the
+	// receiver reported no posted buffer, waiting RNRTimer between
+	// attempts (IB rnr_retry). Disabled when RNRRetry is 0.
+	for rnr := 0; q.typ == RC && rstatus == StatusRNRRetryExceeded && rnr < cfg.RNRRetry; rnr++ {
+		q.hca.noteRetransmit()
+		a2, d2, s2 := q.transmit(q.hca, dst.hca, rtime+cfg.RNRTimer, wireBytes(n, cfg))
+		if !d2 {
+			rstatus, rtime = s2, rtime+cfg.RNRTimer
+			break
+		}
+		rstatus, rtime = dst.receive(wr.Local, wr.Imm, q.qpn, a2)
+	}
 
 	// Local completion: for an inline or buffered send the origin buffer
 	// is reusable as soon as the HCA has consumed it.
@@ -239,6 +285,9 @@ func (q *QP) postSendMsg(clk *simnet.VClock, wr SendWR, remote *QP) error {
 		// (RNR retries exhausted / remote length error).
 		localStatus = rstatus
 		localTime = rtime
+		if rstatus == StatusRetryExceeded {
+			q.Modify(StateErr)
+		}
 	}
 	q.sendCQ.post(WC{ID: wr.ID, Op: OpSend, Status: localStatus, ByteLen: n, QPN: q.qpn, Time: localTime})
 	return nil
@@ -298,9 +347,12 @@ func (q *QP) postRDMARead(clk *simnet.VClock, wr SendWR, remote *QP) error {
 	// Request packet to the target.
 	start := q.hca.sendEngine.Acquire(clk.Now(), cfg.SendProc)
 	depart := start + cfg.SendProc
-	reqArrive, derr := q.hca.fabric.Deliver(q.hca.node, dst.hca.node, depart, cfg.HeaderBytes)
-	if derr != nil {
-		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusTransportError, QPN: q.qpn, Time: depart})
+	reqArrive, delivered, st := q.transmit(q.hca, dst.hca, depart, cfg.HeaderBytes)
+	if !delivered {
+		if st == StatusRetryExceeded {
+			q.Modify(StateErr)
+		}
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: st, QPN: q.qpn, Time: depart})
 		return nil
 	}
 
@@ -318,9 +370,12 @@ func (q *QP) postRDMARead(clk *simnet.VClock, wr SendWR, remote *QP) error {
 
 	respStart := dst.hca.sendEngine.Acquire(reqArrive, cfg.RDMAProc)
 	respDepart := respStart + cfg.RDMAProc
-	respArrive, derr := dst.hca.fabric.Deliver(dst.hca.node, q.hca.node, respDepart, wireBytes(n, cfg))
-	if derr != nil {
-		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusTransportError, QPN: q.qpn, Time: respDepart})
+	respArrive, delivered, st := q.transmit(dst.hca, q.hca, respDepart, wireBytes(n, cfg))
+	if !delivered {
+		if st == StatusRetryExceeded {
+			q.Modify(StateErr)
+		}
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: st, QPN: q.qpn, Time: respDepart})
 		return nil
 	}
 	copy(wr.Local, data)
@@ -340,9 +395,12 @@ func (q *QP) postRDMAWrite(clk *simnet.VClock, wr SendWR, remote *QP) error {
 
 	start := q.hca.sendEngine.Acquire(clk.Now(), cfg.SendProc)
 	depart := start + cfg.SendProc
-	arrive, derr := q.hca.fabric.Deliver(q.hca.node, dst.hca.node, depart, wireBytes(n, cfg))
-	if derr != nil {
-		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusTransportError, QPN: q.qpn, Time: depart})
+	arrive, delivered, st := q.transmit(q.hca, dst.hca, depart, wireBytes(n, cfg))
+	if !delivered {
+		if st == StatusRetryExceeded {
+			q.Modify(StateErr)
+		}
+		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: st, QPN: q.qpn, Time: depart})
 		return nil
 	}
 	tgt, ok := dst.hca.lookupMR(wr.RKey)

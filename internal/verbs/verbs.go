@@ -59,6 +59,7 @@ const (
 	StatusRNRRetryExceeded // receiver not ready: no posted receive buffer
 	StatusFlushed          // QP destroyed/errored with work outstanding
 	StatusTransportError   // fabric unreachable / peer failed
+	StatusRetryExceeded    // RC retransmission budget exhausted on a lossy fabric
 )
 
 func (s Status) String() string {
@@ -73,6 +74,8 @@ func (s Status) String() string {
 		return "flushed"
 	case StatusTransportError:
 		return "transport-error"
+	case StatusRetryExceeded:
+		return "retry-exceeded"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -168,6 +171,19 @@ type Config struct {
 	// InlineMax is the largest payload that can be sent inline (copied
 	// into the WQE, making the origin buffer immediately reusable).
 	InlineMax int
+	// RetryCount is how many times an RC QP retransmits a packet that
+	// the fabric lost before completing the WR with
+	// StatusRetryExceeded and moving the QP to ERR (IB retry_cnt).
+	RetryCount int
+	// AckTimeout is the wait before each RC retransmission (the
+	// local-ack-timeout the sender waits for a missing ACK).
+	AckTimeout simnet.Duration
+	// RNRRetry is how many times an RC sender re-offers a SEND after
+	// the receiver reported receiver-not-ready. Zero keeps the legacy
+	// behaviour of failing immediately with StatusRNRRetryExceeded.
+	RNRRetry int
+	// RNRTimer is the back-off before each RNR retransmission.
+	RNRTimer simnet.Duration
 }
 
 // withDefaults fills unset fields with sane values.
@@ -181,6 +197,18 @@ func (c Config) withDefaults() Config {
 	if c.InlineMax <= 0 {
 		c.InlineMax = 128
 	}
+	if c.RetryCount <= 0 {
+		c.RetryCount = 7 // the IB verbs maximum for retry_cnt
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 10 * simnet.Microsecond
+	}
+	if c.RNRTimer <= 0 {
+		c.RNRTimer = 20 * simnet.Microsecond
+	}
+	// RNRRetry deliberately defaults to 0: an RC SEND into a QP with no
+	// posted receive fails immediately, which is what the credit-based
+	// upper layers rely on to signal misconfiguration loudly.
 	return c
 }
 
