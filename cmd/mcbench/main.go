@@ -4,11 +4,15 @@
 // Usage:
 //
 //	mcbench [-figure fig3a] [-csv] [-ops N] [-list] [-speedups]
+//	        [-stripes N] [-scaling] [-json out.json]
 //
-// With no -figure, every panel is produced.
+// With no -figure, every panel is produced. -scaling appends the
+// multi-core workers x stripes sweep; -json additionally writes every
+// panel (and the sweep) as one machine-readable report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +20,40 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 )
+
+// report is the -json payload: everything the run produced, in order.
+type report struct {
+	OpsPerPoint int                  `json:"ops_per_point"`
+	Stripes     int                  `json:"stripes,omitempty"`
+	Figures     []*bench.Figure      `json:"figures,omitempty"`
+	Scaling     []bench.ScalingPoint `json:"scaling,omitempty"`
+}
+
+// runScaling produces the workers x stripes grid (small gets and the
+// interleaved mix, 16 closed-loop clients on UCR-IB, cluster B).
+func runScaling(cfg bench.RunConfig) []bench.ScalingPoint {
+	p := clusterProfile("B")
+	pts, err := bench.ScalingSweep(p, cluster.UCRIB,
+		[]int{1, 2, 4, 8}, []int{1, 2, 4, 8}, 16,
+		[]bench.Mix{bench.MixGet, bench.MixInterleaved}, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: scaling: %v\n", err)
+		os.Exit(1)
+	}
+	return pts
+}
+
+// writeJSON dumps the report, indented, to path.
+func writeJSON(path string, rep report) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: json: %v\n", err)
+		os.Exit(1)
+	}
+}
 
 // runAblations prints the design-choice studies from DESIGN.md.
 func runAblations(cfg bench.RunConfig) {
@@ -111,6 +149,9 @@ func main() {
 		speedups  = flag.Bool("speedups", false, "append UCR-vs-baseline speedup factors")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
 		faults    = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
+		stripes   = flag.Int("stripes", 0, "cache-engine lock stripes for figure runs (0 = deployment default)")
+		scaling   = flag.Bool("scaling", false, "append the multi-core workers x stripes sweep")
+		jsonPath  = flag.String("json", "", "also write figures and scaling as a JSON report to this path")
 	)
 	flag.Parse()
 
@@ -132,6 +173,7 @@ func main() {
 	}
 
 	cfg := bench.RunConfig{OpsPerPoint: *ops}
+	cfg.Deploy.Stripes = *stripes
 	specs := bench.Figures
 	if *figID != "" {
 		spec, ok := bench.FigureByID(*figID)
@@ -142,12 +184,14 @@ func main() {
 		specs = []bench.FigureSpec{spec}
 	}
 
+	rep := report{OpsPerPoint: *ops, Stripes: *stripes}
 	for _, spec := range specs {
 		fig, err := spec.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", spec.ID, err)
 			os.Exit(1)
 		}
+		rep.Figures = append(rep.Figures, fig)
 		var werr error
 		if *csv {
 			werr = bench.WriteCSV(os.Stdout, fig)
@@ -176,6 +220,18 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if *scaling {
+		// The scaling sweep sets its own stripe axis; the -stripes flag
+		// only shapes the figure runs above.
+		rep.Scaling = runScaling(bench.RunConfig{OpsPerPoint: *ops})
+		fmt.Print(bench.ScalingTable(rep.Scaling))
+		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, rep)
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 		noEvict   = flag.Bool("M", false, "return errors instead of evicting")
 		verbose   = flag.Bool("v", false, "log connections")
 		maxItemKB = flag.Int("I", 1024, "maximum item size in kilobytes")
+		stripes   = flag.Int("stripes", 8, "cache-engine lock stripes (1 = global lock)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		MemoryLimit:      *memMB << 20,
 		MaxItemSize:      *maxItemKB << 10,
 		DisableEvictions: *noEvict,
+		Stripes:          *stripes,
 	})
 
 	lis, err := net.Listen("tcp", *addr)

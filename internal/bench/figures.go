@@ -9,17 +9,17 @@ import (
 // Figure is one reproduced panel: named series over an x-axis.
 type Figure struct {
 	// ID is the paper's panel id, e.g. "fig3a".
-	ID string
+	ID string `json:"id"`
 	// Title describes the panel.
-	Title string
+	Title string `json:"title"`
 	// XLabel and XTicks define the x-axis.
-	XLabel string
-	XTicks []string
+	XLabel string   `json:"x_label"`
+	XTicks []string `json:"x_ticks"`
 	// Unit is the y-axis unit.
-	Unit string
+	Unit string `json:"unit"`
 	// SeriesOrder fixes legend order; Series holds the values.
-	SeriesOrder []string
-	Series      map[string][]float64
+	SeriesOrder []string             `json:"series_order"`
+	Series      map[string][]float64 `json:"series"`
 }
 
 // FigureSpec describes how to regenerate one panel.

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this test binary carries race-detector
+// instrumentation (see scaling_test.go).
+const raceEnabled = true

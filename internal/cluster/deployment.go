@@ -19,6 +19,11 @@ type Options struct {
 	Servers int
 	// ServerWorkers is the memcached worker-thread count (default 4).
 	ServerWorkers int
+	// Stripes is the cache-engine lock-stripe count (power of two;
+	// default 8 — the multi-core engine). 1 restores the global cache
+	// lock of the memcached generation the paper modified, with the
+	// serialization it causes modeled in virtual time.
+	Stripes int
 	// MemoryLimit is the server cache size (default 512 MB).
 	MemoryLimit int64
 	// EagerThreshold overrides the UCR eager cut-over (default 8 KB,
@@ -47,6 +52,9 @@ func (o Options) withDefaults(p *Profile) Options {
 	}
 	if o.ServerWorkers <= 0 {
 		o.ServerWorkers = 4
+	}
+	if o.Stripes <= 0 {
+		o.Stripes = 8
 	}
 	if o.MemoryLimit <= 0 {
 		o.MemoryLimit = 512 << 20
@@ -169,11 +177,16 @@ func New(p *Profile, opts Options) *Deployment {
 			d.Eth1G.Attach(node)
 		}
 		srv := memcached.NewServer(memcached.ServerConfig{
-			Workers:      opts.ServerWorkers,
-			Store:        memcached.StoreConfig{MemoryLimit: opts.MemoryLimit},
+			Workers: opts.ServerWorkers,
+			Store: memcached.StoreConfig{
+				MemoryLimit: opts.MemoryLimit,
+				Stripes:     opts.Stripes,
+			},
 			DispatchCost: opts.DispatchCost,
 			OpCost:       opts.OpCost,
-			UCREvents:    opts.UCREvents,
+			// Lock-held copies run at the cluster's memory pack rate.
+			CopyBytesPerSec: p.UCR.PackBytesPerSec,
+			UCREvents:       opts.UCREvents,
 		})
 		for t, prov := range d.providers {
 			lis, err := prov.Listen(node, serviceFor(t))

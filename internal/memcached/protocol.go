@@ -22,11 +22,53 @@ type ProtoConn struct {
 	r     *bufio.Reader
 	w     io.Writer
 	store *Store
+
+	// opCost/copyRate describe the serving thread's critical section for
+	// the virtual-time lock model (SetCostModel). Zero opCost disables
+	// lock accounting — the default for raw uses of ProtoConn.
+	opCost   simnet.Duration
+	copyRate float64
 }
 
 // NewProtoConn wraps a stream.
 func NewProtoConn(rw io.ReadWriter, store *Store) *ProtoConn {
 	return &ProtoConn{r: bufio.NewReaderSize(rw, 16*1024), w: rw, store: store}
+}
+
+// SetCostModel arms per-command lock accounting: each command's shard
+// lock is held for opCost plus the value bytes it copies while locked
+// (at copyRate bytes/sec), and any queueing delay behind other serving
+// threads is added to the connection's clock.
+func (pc *ProtoConn) SetCostModel(opCost simnet.Duration, copyRate float64) {
+	pc.opCost = opCost
+	pc.copyRate = copyRate
+}
+
+// chargeLock queues the just-executed command behind key's shard lock.
+// Only the wait advances the clock: the hold itself is covered by the
+// OpCost and stream copy charges the server already pays per op.
+func (pc *ProtoConn) chargeLock(clk *simnet.VClock, key string, copied int) {
+	pc.chargeLockAt(clk, clk.Now(), key, copied)
+}
+
+// chargeLockAt is chargeLock for one key of a multi-key command: the
+// shard is acquired at cursor — where this command's previous hold
+// ended — so a burst of same-shard keys extends one backlog that other
+// workers queue behind, instead of queueing this worker behind its own
+// holds. Returns the cursor for the command's next key.
+func (pc *ProtoConn) chargeLockAt(clk *simnet.VClock, cursor simnet.Time, key string, copied int) simnet.Time {
+	if pc.opCost <= 0 {
+		return cursor
+	}
+	hold := pc.opCost
+	if pc.copyRate > 0 {
+		hold += simnet.BytesDuration(copied, pc.copyRate)
+	}
+	if wait := pc.store.LockWait(key, cursor, hold); wait > 0 {
+		clk.Advance(wait)
+		cursor += wait
+	}
+	return cursor + hold
 }
 
 // Buffered reports bytes already read off the stream but not yet
@@ -49,26 +91,25 @@ func (pc *ProtoConn) ServeOne(clk *simnet.VClock) (quit bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	now := clk.Now()
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return false, pc.reply("ERROR\r\n")
 	}
 	switch fields[0] {
 	case "get", "gets":
-		return false, pc.cmdGet(fields, now)
+		return false, pc.cmdGet(fields, clk)
 	case "set", "add", "replace", "append", "prepend", "cas":
-		return false, pc.cmdStore(fields, now)
+		return false, pc.cmdStore(fields, clk)
 	case "delete":
-		return false, pc.cmdDelete(fields, now)
+		return false, pc.cmdDelete(fields, clk)
 	case "incr", "decr":
-		return false, pc.cmdIncrDecr(fields, now)
+		return false, pc.cmdIncrDecr(fields, clk)
 	case "touch":
-		return false, pc.cmdTouch(fields, now)
+		return false, pc.cmdTouch(fields, clk)
 	case "stats":
 		return false, pc.cmdStats(fields)
 	case "flush_all":
-		pc.store.FlushAll(now)
+		pc.store.FlushAll(clk.Now())
 		return false, pc.reply("OK\r\n")
 	case "version":
 		return false, pc.reply("VERSION " + Version + "\r\n")
@@ -94,14 +135,17 @@ func (pc *ProtoConn) reply(s string) error {
 	return err
 }
 
-func (pc *ProtoConn) cmdGet(fields []string, now simnet.Time) error {
+func (pc *ProtoConn) cmdGet(fields []string, clk *simnet.VClock) error {
 	withCAS := fields[0] == "gets"
 	if len(fields) < 2 {
 		return pc.reply("ERROR\r\n")
 	}
 	var sb []byte
+	cursor := clk.Now()
 	for _, key := range fields[1:] {
-		value, flags, cas, ok := pc.store.Get(key, now)
+		value, flags, cas, ok := pc.store.Get(key, clk.Now())
+		// The sockets engine copies the value out while holding the lock.
+		cursor = pc.chargeLockAt(clk, cursor, key, len(value))
 		if !ok {
 			continue
 		}
@@ -118,7 +162,7 @@ func (pc *ProtoConn) cmdGet(fields []string, now simnet.Time) error {
 	return err
 }
 
-func (pc *ProtoConn) cmdStore(fields []string, now simnet.Time) error {
+func (pc *ProtoConn) cmdStore(fields []string, clk *simnet.VClock) error {
 	op := fields[0]
 	want := 5
 	if op == "cas" {
@@ -159,6 +203,7 @@ func (pc *ProtoConn) cmdStore(fields []string, now simnet.Time) error {
 
 	var res StoreResult
 	flags := uint32(flags64)
+	now := clk.Now()
 	switch op {
 	case "set":
 		res = pc.store.Set(key, flags, exptime, value, now)
@@ -173,6 +218,10 @@ func (pc *ProtoConn) cmdStore(fields []string, now simnet.Time) error {
 	case "cas":
 		res = pc.store.Cas(key, flags, exptime, value, casID, now)
 	}
+	// The sockets engine copies the inbound value into slab memory while
+	// holding the lock (unlike the UCR path, where RDMA lands the value
+	// before the commit takes it).
+	pc.chargeLock(clk, key, nbytes)
 	if noreply {
 		return nil
 	}
@@ -185,12 +234,13 @@ func (pc *ProtoConn) discard(n int) {
 	}
 }
 
-func (pc *ProtoConn) cmdDelete(fields []string, now simnet.Time) error {
+func (pc *ProtoConn) cmdDelete(fields []string, clk *simnet.VClock) error {
 	if len(fields) < 2 {
 		return pc.reply("ERROR\r\n")
 	}
 	noreply := len(fields) == 3 && fields[2] == "noreply"
-	ok := pc.store.Delete(fields[1], now)
+	ok := pc.store.Delete(fields[1], clk.Now())
+	pc.chargeLock(clk, fields[1], 0)
 	if noreply {
 		return nil
 	}
@@ -200,7 +250,7 @@ func (pc *ProtoConn) cmdDelete(fields []string, now simnet.Time) error {
 	return pc.reply("NOT_FOUND\r\n")
 }
 
-func (pc *ProtoConn) cmdIncrDecr(fields []string, now simnet.Time) error {
+func (pc *ProtoConn) cmdIncrDecr(fields []string, clk *simnet.VClock) error {
 	if len(fields) < 3 {
 		return pc.reply("ERROR\r\n")
 	}
@@ -209,7 +259,8 @@ func (pc *ProtoConn) cmdIncrDecr(fields []string, now simnet.Time) error {
 	if err != nil {
 		return pc.reply("CLIENT_ERROR invalid numeric delta argument\r\n")
 	}
-	val, found, bad, oom := pc.store.IncrDecr(fields[1], delta, fields[0] == "incr", now)
+	val, found, bad, oom := pc.store.IncrDecr(fields[1], delta, fields[0] == "incr", clk.Now())
+	pc.chargeLock(clk, fields[1], 0)
 	if noreply {
 		return nil
 	}
@@ -225,7 +276,7 @@ func (pc *ProtoConn) cmdIncrDecr(fields []string, now simnet.Time) error {
 	}
 }
 
-func (pc *ProtoConn) cmdTouch(fields []string, now simnet.Time) error {
+func (pc *ProtoConn) cmdTouch(fields []string, clk *simnet.VClock) error {
 	if len(fields) < 3 {
 		return pc.reply("ERROR\r\n")
 	}
@@ -233,6 +284,8 @@ func (pc *ProtoConn) cmdTouch(fields []string, now simnet.Time) error {
 	if err != nil {
 		return pc.reply("CLIENT_ERROR bad command line format\r\n")
 	}
+	now := clk.Now()
+	pc.chargeLock(clk, fields[1], 0)
 	if pc.store.Touch(fields[1], exptime, now) {
 		return pc.reply("TOUCHED\r\n")
 	}
@@ -315,17 +368,13 @@ func (pc *ProtoConn) cmdStatsSlabs() error {
 
 // cmdStatsItems reports per-class item counts (`stats items`).
 func (pc *ProtoConn) cmdStatsItems() error {
-	a := pc.store.Arena()
 	var sb strings.Builder
-	pc.store.mu.Lock()
-	for i := 0; i < a.NumClasses(); i++ {
-		n := a.ClassItems(i)
+	for i, n := range pc.store.ItemsPerClass() {
 		if n == 0 {
 			continue
 		}
 		fmt.Fprintf(&sb, "STAT items:%d:number %d\r\n", i+1, n)
 	}
-	pc.store.mu.Unlock()
 	sb.WriteString("END\r\n")
 	return pc.reply(sb.String())
 }

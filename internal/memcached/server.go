@@ -23,8 +23,15 @@ type ServerConfig struct {
 	// structural advantages the paper measures.
 	DispatchCost simnet.Duration
 	// OpCost is the command-processing cost (parse, hash, LRU) charged
-	// per operation on both paths.
+	// per operation on both paths. It is also the baseline shard-lock
+	// hold time in the engine's contention model.
 	OpCost simnet.Duration
+	// CopyBytesPerSec is the memory-copy bandwidth used to extend a
+	// shard-lock hold by the bytes copied while the lock is held
+	// (default 5 GB/s). Only the sockets path copies values under the
+	// lock; UCR transfers land in or leave pinned slab memory outside
+	// it (§V-B/§V-C).
+	CopyBytesPerSec float64
 	// UCREvents switches the UCR workers from CQ polling to interrupt-
 	// style events (ablation: §II-A1 — polling gives the lowest latency).
 	UCREvents bool
@@ -38,6 +45,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.AcceptRealCap <= 0 {
 		c.AcceptRealCap = 100 * time.Millisecond
+	}
+	if c.CopyBytesPerSec <= 0 {
+		c.CopyBytesPerSec = 5e9
 	}
 	return c
 }
@@ -199,9 +209,11 @@ func (s *Server) ServeSockets(lis *sockstream.Listener) {
 			w := s.pickWorker()
 			conn.NoDelay = true
 			conn.SetClock(w.clk)
+			proto := NewProtoConn(conn, s.store)
+			proto.SetCostModel(s.cfg.OpCost, s.cfg.CopyBytesPerSec)
 			cs := &connState{
 				conn:   conn,
-				proto:  NewProtoConn(conn, s.store),
+				proto:  proto,
 				worker: w,
 				ack:    make(chan struct{}),
 			}

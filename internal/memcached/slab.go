@@ -3,6 +3,7 @@ package memcached
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Slab allocation constants, matching memcached 1.4-era defaults.
@@ -34,9 +35,6 @@ type slabClass struct {
 	size  int
 	free  []chunk
 	pages int
-
-	// lruHead/lruTail: most/least recently used items of this class.
-	lruHead, lruTail *Item
 }
 
 // SlabArena is the memcached slab allocator: memory is grabbed in 1 MB
@@ -44,10 +42,18 @@ type slabClass struct {
 // chunks. Freed chunks return to their class's free list — classes never
 // shrink (the fragmentation behaviour the paper's related-work section
 // points out makes client-side address caching unsafe).
+//
+// The arena is shared by every store shard and guards its free lists
+// with its own short mutex; the class geometry (count and sizes) is
+// immutable after construction and read without it. LRU ordering lives
+// with the shards (lruTable), not here — eviction policy is the store
+// layer's.
 type SlabArena struct {
 	classes    []slabClass
 	limitBytes int64
-	usedBytes  int64
+
+	mu        sync.Mutex // guards free lists, pages, usedBytes
+	usedBytes int64
 }
 
 // NewSlabArena builds an arena with the given memory limit and the
@@ -98,7 +104,11 @@ func (a *SlabArena) ClassFor(n int) (int, bool) {
 }
 
 // UsedBytes reports bytes of pages grabbed from the limit.
-func (a *SlabArena) UsedBytes() int64 { return a.usedBytes }
+func (a *SlabArena) UsedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usedBytes
+}
 
 // LimitBytes reports the configured cap.
 func (a *SlabArena) LimitBytes() int64 { return a.limitBytes }
@@ -110,9 +120,11 @@ func (a *SlabArena) Alloc(n int) (chunk, error) {
 	if !ok {
 		return chunk{}, fmt.Errorf("memcached: object too large for cache (%d bytes)", n)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	cl := &a.classes[ci]
 	if len(cl.free) == 0 {
-		if err := a.growClass(ci); err != nil {
+		if err := a.growClassLocked(ci); err != nil {
 			return chunk{}, err
 		}
 	}
@@ -121,8 +133,8 @@ func (a *SlabArena) Alloc(n int) (chunk, error) {
 	return c, nil
 }
 
-// growClass grabs a page for class ci and carves it.
-func (a *SlabArena) growClass(ci int) error {
+// growClassLocked grabs a page for class ci and carves it.
+func (a *SlabArena) growClassLocked(ci int) error {
 	if a.usedBytes+slabPageSize > a.limitBytes {
 		return ErrNoMemory
 	}
@@ -141,74 +153,22 @@ func (a *SlabArena) Free(c chunk) {
 	if !c.valid() {
 		return
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	cl := &a.classes[c.class]
 	cl.free = append(cl.free, c)
 }
 
 // FreeChunks reports free chunks in class i (for tests/stats).
-func (a *SlabArena) FreeChunks(i int) int { return len(a.classes[i].free) }
+func (a *SlabArena) FreeChunks(i int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.classes[i].free)
+}
 
 // ClassPages reports pages assigned to class i.
-func (a *SlabArena) ClassPages(i int) int { return a.classes[i].pages }
-
-// ClassItems reports linked items in class i (an LRU walk; stats path).
-func (a *SlabArena) ClassItems(i int) int {
-	n := 0
-	for it := a.classes[i].lruHead; it != nil; it = it.lnext {
-		n++
-	}
-	return n
-}
-
-// lruInsert puts it at the head (most recent) of its class list.
-func (a *SlabArena) lruInsert(it *Item) {
-	cl := &a.classes[it.chunk.class]
-	it.lprev = nil
-	it.lnext = cl.lruHead
-	if cl.lruHead != nil {
-		cl.lruHead.lprev = it
-	}
-	cl.lruHead = it
-	if cl.lruTail == nil {
-		cl.lruTail = it
-	}
-}
-
-// lruRemove unlinks it from its class list.
-func (a *SlabArena) lruRemove(it *Item) {
-	cl := &a.classes[it.chunk.class]
-	if it.lprev != nil {
-		it.lprev.lnext = it.lnext
-	} else if cl.lruHead == it {
-		cl.lruHead = it.lnext
-	}
-	if it.lnext != nil {
-		it.lnext.lprev = it.lprev
-	} else if cl.lruTail == it {
-		cl.lruTail = it.lprev
-	}
-	it.lprev, it.lnext = nil, nil
-}
-
-// lruTouch moves it to the head of its class list.
-func (a *SlabArena) lruTouch(it *Item) {
-	a.lruRemove(it)
-	a.lruInsert(it)
-}
-
-// lruVictim walks up to maxTries items from the tail of the class that
-// would hold n bytes, returning the first unpinned candidate.
-func (a *SlabArena) lruVictim(n, maxTries int) *Item {
-	ci, ok := a.ClassFor(n)
-	if !ok {
-		return nil
-	}
-	it := a.classes[ci].lruTail
-	for tries := 0; it != nil && tries < maxTries; tries++ {
-		if !it.pinned() {
-			return it
-		}
-		it = it.lprev
-	}
-	return nil
+func (a *SlabArena) ClassPages(i int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.classes[i].pages
 }

@@ -1,8 +1,10 @@
 package memcached
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simnet"
 )
@@ -62,17 +64,54 @@ const evictionTries = 50
 // seconds since simulation start).
 const maxRelativeExpiry = 60 * 60 * 24 * 30
 
-// Store is the cache engine: slab arena + hash table + LRU + stats under
-// one lock (the global cache lock of the memcached generation the paper
-// modified).
-type Store struct {
+// shardCounters are one shard's engine counters. Writers hold the shard
+// lock; Stats() reads them lock-free, so every field is atomic.
+type shardCounters struct {
+	cmdGet, cmdSet                             atomic.Uint64
+	getHits, getMisses                         atomic.Uint64
+	deleteHits, deleteMisses                   atomic.Uint64
+	incrHits, incrMisses, decrHits, decrMisses atomic.Uint64
+	casHits, casMisses, casBadval              atomic.Uint64
+	touchHits, touchMisses                     atomic.Uint64
+	evictions, expired                         atomic.Uint64
+	currItems, totalItems                      atomic.Uint64
+	bytes                                      atomic.Uint64
+}
+
+// sub decrements an unsigned counter (two's-complement add).
+func sub(c *atomic.Uint64, n uint64) { c.Add(^(n - 1)) }
+
+// shard is one lock stripe: a hash-table segment, its per-class LRU
+// chains, a CAS counter and stats, all under one mutex. res models that
+// mutex in virtual time — workers queue their lock hold times on it, so
+// contention shows up as measured latency (LockWait).
+type shard struct {
 	mu          sync.Mutex
-	arena       *SlabArena
+	res         *simnet.Resource
 	table       *hashTable
-	casCounter  uint64
+	lru         *lruTable
 	flushBefore simnet.Time
-	stats       Stats
-	evictions   bool
+	stats       shardCounters
+}
+
+// Store is the cache engine: a shared slab arena plus N lock-striped
+// shards (N=1 reproduces the global cache lock of the memcached
+// generation the paper modified; N>1 is the §VII "exploiting
+// multi-core" direction). A key's shard is picked from the high bits of
+// the same FNV-1a hash the table buckets use, so striping never skews
+// bucket occupancy within a shard.
+type Store struct {
+	arena     *SlabArena
+	shards    []*shard
+	shardMask uint64
+	evictions bool
+	limit     int64
+
+	// nextCAS is global, not per-shard: memcached CAS IDs are one
+	// process-wide sequence, and keeping it that way also keeps the
+	// IDs — which travel in "gets" responses — independent of the
+	// stripe count.
+	nextCAS atomic.Uint64
 }
 
 // StoreConfig sizes a Store.
@@ -81,6 +120,9 @@ type StoreConfig struct {
 	MemoryLimit int64
 	// MaxItemSize caps one item (memcached -I; default 1 MB).
 	MaxItemSize int
+	// Stripes is the lock-stripe count (rounded up to a power of two;
+	// default 1 — the global-lock engine).
+	Stripes int
 	// DisableEvictions makes the store error instead of evicting
 	// (memcached -M).
 	DisableEvictions bool
@@ -92,13 +134,63 @@ func NewStore(cfg StoreConfig) *Store {
 	if cfg.MemoryLimit <= 0 {
 		cfg.MemoryLimit = 64 << 20
 	}
+	n := 1
+	for n < cfg.Stripes {
+		n <<= 1
+	}
 	s := &Store{
 		arena:     NewSlabArena(cfg.MemoryLimit, cfg.MaxItemSize),
-		table:     newHashTable(),
+		shards:    make([]*shard, n),
+		shardMask: uint64(n - 1),
 		evictions: !cfg.DisableEvictions,
+		limit:     cfg.MemoryLimit,
 	}
-	s.stats.LimitMaxBytes = uint64(cfg.MemoryLimit)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			res:   simnet.NewResource(fmt.Sprintf("store-shard-%d", i)),
+			table: newHashTable(),
+			lru:   newLRUTable(s.arena.NumClasses()),
+		}
+	}
 	return s
+}
+
+// NumStripes reports the shard count.
+func (s *Store) NumStripes() int { return len(s.shards) }
+
+// shardFor picks a key's stripe from a Fibonacci spread of the key
+// hash: FNV-1a's raw high bits cluster badly for short sequential keys,
+// and the low bits index buckets inside the shard's table, so the
+// selector multiplies every input bit into fresh high bits instead of
+// reusing either end directly.
+func (s *Store) shardFor(key string) *shard {
+	h := hashKey(key) * 0x9e3779b97f4a7c15
+	return s.shards[(h>>32)&s.shardMask]
+}
+
+// LockWait models taking the key's shard lock at now for hold: the
+// acquisition is queued on the shard's resource behind other workers'
+// in-flight holds, and the returned wait is the queueing delay the
+// caller must add to its clock. The hold itself is the caller's
+// existing per-op charges (OpCost, copy costs) — callers never charge
+// it twice. Uncontended acquisitions (single worker, single client, or
+// untouched stripes) return 0, leaving those runs bit-identical.
+func (s *Store) LockWait(key string, now simnet.Time, hold simnet.Duration) simnet.Duration {
+	sh := s.shardFor(key)
+	start := sh.res.Acquire(now, hold)
+	return simnet.Duration(start - now)
+}
+
+// LockStats sums lock occupancy across shards (busy virtual time and
+// acquisition count) — the contention observability counterpart of
+// Stats.
+func (s *Store) LockStats() (busy simnet.Duration, uses int64) {
+	for _, sh := range s.shards {
+		b, u := sh.res.Stats()
+		busy += b
+		uses += u
+	}
+	return busy, uses
 }
 
 // expiryTime converts a protocol exptime to an absolute virtual time.
@@ -114,14 +206,14 @@ func expiryTime(exptime int64, now simnet.Time) simnet.Time {
 }
 
 // lookupLocked finds a live item, lazily reaping an expired one.
-func (s *Store) lookupLocked(key string, now simnet.Time) *Item {
-	it := s.table.Get(key)
+func (s *Store) lookupLocked(sh *shard, key string, now simnet.Time) *Item {
+	it := sh.table.Get(key)
 	if it == nil {
 		return nil
 	}
-	if it.expired(now, s.flushBefore) {
-		s.stats.Expired++
-		s.unlinkLocked(it)
+	if it.expired(now, sh.flushBefore) {
+		sh.stats.expired.Add(1)
+		s.unlinkLocked(sh, it)
 		return nil
 	}
 	return it
@@ -129,20 +221,22 @@ func (s *Store) lookupLocked(key string, now simnet.Time) *Item {
 
 // unlinkLocked removes an item from table and LRU, freeing its chunk
 // unless a transfer still pins it (the chunk is then freed at Unpin).
-func (s *Store) unlinkLocked(it *Item) {
+func (s *Store) unlinkLocked(sh *shard, it *Item) {
 	if it.linked {
-		s.table.Delete(it.key)
+		sh.table.Delete(it.key)
 	}
-	s.arena.lruRemove(it)
-	s.stats.Bytes -= uint64(len(it.key) + len(it.value))
-	s.stats.CurrItems--
+	sh.lru.remove(it)
+	sub(&sh.stats.bytes, uint64(len(it.key)+len(it.value)))
+	sub(&sh.stats.currItems, 1)
 	if !it.pinned() {
 		s.arena.Free(it.chunk)
 	}
 }
 
-// allocLocked grabs a chunk, evicting LRU victims as needed.
-func (s *Store) allocLocked(n int) (chunk, StoreResult) {
+// allocLocked grabs a chunk, evicting LRU victims as needed. Victims
+// come only from the calling shard's own chains — its lock is the only
+// one held, so items other shards own are untouchable here.
+func (s *Store) allocLocked(sh *shard, n int) (chunk, StoreResult) {
 	for {
 		c, err := s.arena.Alloc(n)
 		if err == nil {
@@ -154,54 +248,58 @@ func (s *Store) allocLocked(n int) (chunk, StoreResult) {
 		if !s.evictions {
 			return chunk{}, OOM
 		}
-		victim := s.arena.lruVictim(n, evictionTries)
+		ci, ok := s.arena.ClassFor(n)
+		if !ok {
+			return chunk{}, TooLarge
+		}
+		victim := sh.lru.victim(ci, evictionTries)
 		if victim == nil {
 			return chunk{}, OOM
 		}
-		s.stats.Evictions++
-		s.unlinkLocked(victim)
+		sh.stats.evictions.Add(1)
+		s.unlinkLocked(sh, victim)
 	}
 }
 
 // newItemLocked allocates and fills an unlinked item.
-func (s *Store) newItemLocked(key string, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
-	c, res := s.allocLocked(len(key) + valueLen + itemOverhead)
+func (s *Store) newItemLocked(sh *shard, key string, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
+	c, res := s.allocLocked(sh, len(key)+valueLen+itemOverhead)
 	if res != Stored {
 		return nil, res
 	}
 	copy(c.buf, key)
-	s.casCounter++
 	it := &Item{
 		key:      key,
 		value:    c.buf[len(key) : len(key)+valueLen],
 		chunk:    c,
 		flags:    flags,
 		expireAt: expiryTime(exptime, now),
-		casID:    s.casCounter,
+		casID:    s.nextCAS.Add(1),
 		setAt:    now,
 	}
 	return it, Stored
 }
 
 // linkLocked commits an item, replacing any existing entry for the key.
-func (s *Store) linkLocked(it *Item, now simnet.Time) {
-	if old := s.table.Get(it.key); old != nil {
-		s.unlinkLocked(old)
+func (s *Store) linkLocked(sh *shard, it *Item, now simnet.Time) {
+	if old := sh.table.Get(it.key); old != nil {
+		s.unlinkLocked(sh, old)
 	}
-	s.table.Put(it)
-	s.arena.lruInsert(it)
-	s.stats.Bytes += uint64(len(it.key) + len(it.value))
-	s.stats.CurrItems++
-	s.stats.TotalItems++
+	sh.table.Put(it)
+	sh.lru.insert(it)
+	sh.stats.bytes.Add(uint64(len(it.key) + len(it.value)))
+	sh.stats.currItems.Add(1)
+	sh.stats.totalItems.Add(1)
 }
 
 // AllocateItem reserves an unlinked item whose value buffer the caller
 // fills before CommitItem — the UCR Set path lands the client's RDMA-
 // read value directly in this slab memory (§V-B).
 func (s *Store) AllocateItem(key string, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it, res := s.newItemLocked(key, flags, exptime, valueLen, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, res := s.newItemLocked(sh, key, flags, exptime, valueLen, now)
 	if res == Stored {
 		it.refcount++ // pinned until commit/abort
 	}
@@ -210,17 +308,19 @@ func (s *Store) AllocateItem(key string, flags uint32, exptime int64, valueLen i
 
 // CommitItem links a previously allocated item.
 func (s *Store) CommitItem(it *Item, now simnet.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(it.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	it.refcount--
-	s.stats.CmdSet++
-	s.linkLocked(it, now)
+	sh.stats.cmdSet.Add(1)
+	s.linkLocked(sh, it, now)
 }
 
 // AbortItem releases an allocated-but-uncommitted item.
 func (s *Store) AbortItem(it *Item) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(it.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	it.refcount--
 	if !it.pinned() {
 		s.arena.Free(it.chunk)
@@ -229,66 +329,70 @@ func (s *Store) AbortItem(it *Item) {
 
 // Set unconditionally stores key=value.
 func (s *Store) Set(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdSet++
-	it, res := s.newItemLocked(key, flags, exptime, len(value), now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdSet.Add(1)
+	it, res := s.newItemLocked(sh, key, flags, exptime, len(value), now)
 	if res != Stored {
 		return res
 	}
 	copy(it.value, value)
-	s.linkLocked(it, now)
+	s.linkLocked(sh, it, now)
 	return Stored
 }
 
 // Add stores only if the key is absent.
 func (s *Store) Add(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdSet++
-	if s.lookupLocked(key, now) != nil {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdSet.Add(1)
+	if s.lookupLocked(sh, key, now) != nil {
 		return NotStored
 	}
-	return s.setLocked(key, flags, exptime, value, now)
+	return s.setLocked(sh, key, flags, exptime, value, now)
 }
 
 // Replace stores only if the key is present.
 func (s *Store) Replace(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdSet++
-	if s.lookupLocked(key, now) == nil {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdSet.Add(1)
+	if s.lookupLocked(sh, key, now) == nil {
 		return NotStored
 	}
-	return s.setLocked(key, flags, exptime, value, now)
+	return s.setLocked(sh, key, flags, exptime, value, now)
 }
 
 // Cas stores only if the entry's CAS id still matches.
 func (s *Store) Cas(key string, flags uint32, exptime int64, value []byte, casID uint64, now simnet.Time) StoreResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdSet++
-	it := s.lookupLocked(key, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdSet.Add(1)
+	it := s.lookupLocked(sh, key, now)
 	if it == nil {
-		s.stats.CasMisses++
+		sh.stats.casMisses.Add(1)
 		return NotFound
 	}
 	if it.casID != casID {
-		s.stats.CasBadval++
+		sh.stats.casBadval.Add(1)
 		return Exists
 	}
-	s.stats.CasHits++
-	return s.setLocked(key, flags, exptime, value, now)
+	sh.stats.casHits.Add(1)
+	return s.setLocked(sh, key, flags, exptime, value, now)
 }
 
 // setLocked is the shared unconditional-store tail.
-func (s *Store) setLocked(key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
-	it, res := s.newItemLocked(key, flags, exptime, len(value), now)
+func (s *Store) setLocked(sh *shard, key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
+	it, res := s.newItemLocked(sh, key, flags, exptime, len(value), now)
 	if res != Stored {
 		return res
 	}
 	copy(it.value, value)
-	s.linkLocked(it, now)
+	s.linkLocked(sh, it, now)
 	return Stored
 }
 
@@ -308,13 +412,13 @@ func (s *Store) releasePin(it *Item) {
 // old itself — freeing the chunk old.value aliases, so the copy below
 // would read (or, after the free list recycles the chunk into the new
 // item, overwrite) freed slab memory.
-func (s *Store) concatLocked(key string, add []byte, prepend bool, now simnet.Time) StoreResult {
-	old := s.lookupLocked(key, now)
+func (s *Store) concatLocked(sh *shard, key string, add []byte, prepend bool, now simnet.Time) StoreResult {
+	old := s.lookupLocked(sh, key, now)
 	if old == nil {
 		return NotStored
 	}
 	old.refcount++
-	it, res := s.newItemLocked(key, old.flags, 0, len(old.value)+len(add), now)
+	it, res := s.newItemLocked(sh, key, old.flags, 0, len(old.value)+len(add), now)
 	if res != Stored {
 		s.releasePin(old)
 		return res
@@ -328,38 +432,41 @@ func (s *Store) concatLocked(key string, add []byte, prepend bool, now simnet.Ti
 		copy(it.value[len(old.value):], add)
 	}
 	s.releasePin(old)
-	s.linkLocked(it, now)
+	s.linkLocked(sh, it, now)
 	return Stored
 }
 
 // Append adds bytes after an existing value.
 func (s *Store) Append(key string, value []byte, now simnet.Time) StoreResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdSet++
-	return s.concatLocked(key, value, false, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdSet.Add(1)
+	return s.concatLocked(sh, key, value, false, now)
 }
 
 // Prepend adds bytes before an existing value.
 func (s *Store) Prepend(key string, value []byte, now simnet.Time) StoreResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdSet++
-	return s.concatLocked(key, value, true, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdSet.Add(1)
+	return s.concatLocked(sh, key, value, true, now)
 }
 
 // Get copies out the value for key. ok=false is a miss.
 func (s *Store) Get(key string, now simnet.Time) (value []byte, flags uint32, casID uint64, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdGet++
-	it := s.lookupLocked(key, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdGet.Add(1)
+	it := s.lookupLocked(sh, key, now)
 	if it == nil {
-		s.stats.GetMisses++
+		sh.stats.getMisses.Add(1)
 		return nil, 0, 0, false
 	}
-	s.stats.GetHits++
-	s.arena.lruTouch(it)
+	sh.stats.getHits.Add(1)
+	sh.lru.touch(it)
 	out := make([]byte, len(it.value))
 	copy(out, it.value)
 	return out, it.flags, it.casID, true
@@ -369,16 +476,17 @@ func (s *Store) Get(key string, now simnet.Time) (value []byte, flags uint32, ca
 // memory stays valid while a reply transfer (possibly a client-issued
 // RDMA read) is in flight. The caller must Unpin.
 func (s *Store) GetPinned(key string, now simnet.Time) (*Item, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.CmdGet++
-	it := s.lookupLocked(key, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdGet.Add(1)
+	it := s.lookupLocked(sh, key, now)
 	if it == nil {
-		s.stats.GetMisses++
+		sh.stats.getMisses.Add(1)
 		return nil, false
 	}
-	s.stats.GetHits++
-	s.arena.lruTouch(it)
+	sh.stats.getHits.Add(1)
+	sh.lru.touch(it)
 	it.refcount++
 	return it, true
 }
@@ -386,25 +494,24 @@ func (s *Store) GetPinned(key string, now simnet.Time) (*Item, bool) {
 // Unpin releases a GetPinned reference, freeing the chunk if the item
 // was unlinked (replaced/evicted/deleted) while pinned.
 func (s *Store) Unpin(it *Item) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it.refcount--
-	if !it.linked && !it.pinned() {
-		s.arena.Free(it.chunk)
-	}
+	sh := s.shardFor(it.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.releasePin(it)
 }
 
 // Delete removes key. ok=false is a miss.
 func (s *Store) Delete(key string, now simnet.Time) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.lookupLocked(key, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.lookupLocked(sh, key, now)
 	if it == nil {
-		s.stats.DeleteMisses++
+		sh.stats.deleteMisses.Add(1)
 		return false
 	}
-	s.stats.DeleteHits++
-	s.unlinkLocked(it)
+	sh.stats.deleteHits.Add(1)
+	s.unlinkLocked(sh, it)
 	return true
 }
 
@@ -413,14 +520,15 @@ func (s *Store) Delete(key string, now simnet.Time) bool {
 // grown value could not be allocated (protocol SERVER_ERROR) — a server
 // failure, distinct from the caller's mistake.
 func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (newVal uint64, found, badValue, oom bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.lookupLocked(key, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		if incr {
-			s.stats.IncrMisses++
+			sh.stats.incrMisses.Add(1)
 		} else {
-			s.stats.DecrMisses++
+			sh.stats.decrMisses.Add(1)
 		}
 		return 0, false, false, false
 	}
@@ -429,10 +537,10 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		return 0, true, true, false
 	}
 	if incr {
-		s.stats.IncrHits++
+		sh.stats.incrHits.Add(1)
 		cur += delta
 	} else {
-		s.stats.DecrHits++
+		sh.stats.decrHits.Add(1)
 		if delta > cur {
 			cur = 0
 		} else {
@@ -445,36 +553,36 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		// emulated by shrinking the value slice to the new length.
 		copy(it.value, text)
 		it.value = it.value[:len(text)]
-		s.casCounter++
-		it.casID = s.casCounter
+		it.casID = s.nextCAS.Add(1)
 	} else {
 		// Pin the current item across the allocation: newItemLocked may
 		// evict it to make room, and the pin keeps its chunk (and the
 		// expiry we carry over) alive until the swap completes.
 		flags, exp := it.flags, it.expireAt
 		it.refcount++
-		nit, res := s.newItemLocked(key, flags, 0, len(text), now)
+		nit, res := s.newItemLocked(sh, key, flags, 0, len(text), now)
 		s.releasePin(it)
 		if res != Stored {
 			return 0, true, false, true
 		}
 		nit.expireAt = exp
 		copy(nit.value, text)
-		s.linkLocked(nit, now)
+		s.linkLocked(sh, nit, now)
 	}
 	return cur, true, false, false
 }
 
 // Touch updates an item's expiry.
 func (s *Store) Touch(key string, exptime int64, now simnet.Time) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.lookupLocked(key, now)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.lookupLocked(sh, key, now)
 	if it == nil {
-		s.stats.TouchMisses++
+		sh.stats.touchMisses.Add(1)
 		return false
 	}
-	s.stats.TouchHits++
+	sh.stats.touchHits.Add(1)
 	it.expireAt = expiryTime(exptime, now)
 	return true
 }
@@ -482,27 +590,70 @@ func (s *Store) Touch(key string, exptime int64, now simnet.Time) bool {
 // FlushAll invalidates everything stored before now (lazy, like
 // memcached: items vanish on next access).
 func (s *Store) FlushAll(now simnet.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.flushBefore = now + 1
+	horizon := now + 1
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.flushBefore = horizon
+		sh.mu.Unlock()
+	}
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters: a lock-free sum over per-shard atomics
+// — statistics never queue behind the data path.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var st Stats
+	for _, sh := range s.shards {
+		c := &sh.stats
+		st.CmdGet += c.cmdGet.Load()
+		st.CmdSet += c.cmdSet.Load()
+		st.GetHits += c.getHits.Load()
+		st.GetMisses += c.getMisses.Load()
+		st.DeleteHits += c.deleteHits.Load()
+		st.DeleteMisses += c.deleteMisses.Load()
+		st.IncrHits += c.incrHits.Load()
+		st.IncrMisses += c.incrMisses.Load()
+		st.DecrHits += c.decrHits.Load()
+		st.DecrMisses += c.decrMisses.Load()
+		st.CasHits += c.casHits.Load()
+		st.CasMisses += c.casMisses.Load()
+		st.CasBadval += c.casBadval.Load()
+		st.TouchHits += c.touchHits.Load()
+		st.TouchMisses += c.touchMisses.Load()
+		st.Evictions += c.evictions.Load()
+		st.Expired += c.expired.Load()
+		st.CurrItems += c.currItems.Load()
+		st.TotalItems += c.totalItems.Load()
+		st.Bytes += c.bytes.Load()
+	}
+	st.LimitMaxBytes = uint64(s.limit)
+	return st
 }
 
-// CurrItems reports the live item count.
+// CurrItems reports the live item count (lock-free).
 func (s *Store) CurrItems() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats.CurrItems
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.stats.currItems.Load()
+	}
+	return n
 }
 
 // Arena exposes the slab arena (tests, stats reporting).
 func (s *Store) Arena() *SlabArena { return s.arena }
+
+// ItemsPerClass counts linked items per slab class, summed across
+// shards (the data behind `stats items`).
+func (s *Store) ItemsPerClass() []int {
+	counts := make([]int, s.arena.NumClasses())
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for i := range counts {
+			counts[i] += sh.lru.classItems(i)
+		}
+		sh.mu.Unlock()
+	}
+	return counts
+}
 
 // SlabClassStat is one size class's occupancy snapshot.
 type SlabClassStat struct {
@@ -519,9 +670,8 @@ type SlabClassStat struct {
 // SlabStats snapshots per-class occupancy for classes holding pages
 // (the data behind `stats slabs` and `stats items`).
 func (s *Store) SlabStats() (classes []SlabClassStat, totalMalloced int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	a := s.arena
+	items := s.ItemsPerClass()
 	for i := 0; i < a.NumClasses(); i++ {
 		pages := a.ClassPages(i)
 		if pages == 0 {
@@ -538,7 +688,7 @@ func (s *Store) SlabStats() (classes []SlabClassStat, totalMalloced int64) {
 			TotalChunks:   total,
 			UsedChunks:    total - free,
 			FreeChunks:    free,
-			Items:         a.ClassItems(i),
+			Items:         items[i],
 		})
 	}
 	return classes, a.UsedBytes()
@@ -550,9 +700,16 @@ func (s *Store) EvictionsEnabled() bool { return s.evictions }
 // MaxItemSize reports the largest storable object.
 func (s *Store) MaxItemSize() int { return s.arena.ClassSize(s.arena.NumClasses() - 1) }
 
-// HashExpanding reports whether the table is mid-expansion (tests).
+// HashExpanding reports whether any shard's table is mid-expansion
+// (tests).
 func (s *Store) HashExpanding() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.table.Expanding()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		expanding := sh.table.Expanding()
+		sh.mu.Unlock()
+		if expanding {
+			return true
+		}
+	}
+	return false
 }

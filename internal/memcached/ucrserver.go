@@ -33,13 +33,34 @@ func (s *Server) workerFor(ep *ucr.Endpoint) *worker {
 	return s.ctxOwner[ep.Context()]
 }
 
+// scratchMax caps the landing buffer a worker keeps between requests;
+// one oversized rejected set must not pin a max-item-size buffer per
+// worker for the server's lifetime.
+const scratchMax = 64 << 10
+
 // scratchBuf returns a throwaway landing buffer used when item
-// allocation failed but the transfer must still complete.
+// allocation failed but the transfer must still complete. Requests
+// beyond scratchMax get a one-off buffer that is not retained.
 func (w *worker) scratchBuf(n int) []byte {
+	if n > scratchMax {
+		return make([]byte, n)
+	}
 	if cap(w.scratch) < n {
-		w.scratch = make([]byte, n)
+		w.scratch = make([]byte, n, scratchMax)
 	}
 	return w.scratch[:n]
+}
+
+// chargeLock queues an AM completion handler behind the key's shard
+// lock: the hold is the engine critical section (OpCost plus bytes
+// copied while locked), and only the queueing wait advances the worker
+// clock — the hold itself is covered by the per-op charges the worker
+// already pays. Uncontended acquisitions cost nothing.
+func (s *Server) chargeLock(clk *simnet.VClock, key string, copied int) {
+	hold := s.cfg.OpCost + simnet.BytesDuration(copied, s.cfg.CopyBytesPerSec)
+	if wait := s.store.LockWait(key, clk.Now(), hold); wait > 0 {
+		clk.Advance(wait)
+	}
 }
 
 // registerAMHandlers installs the §V protocol on the runtime.
@@ -105,6 +126,9 @@ func (s *Server) amSetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data [
 	clk.Advance(s.cfg.OpCost)
 	status := AMOK
 	if p.item != nil {
+		// No copy extends the hold: the value already landed in slab
+		// memory via RDMA before the commit takes the lock (§V-B).
+		s.chargeLock(clk, p.item.Key(), 0)
 		s.store.CommitItem(p.item, clk.Now())
 	} else {
 		status = AMError
@@ -128,6 +152,9 @@ func (s *Server) amGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data [
 	}
 	clk.Advance(s.cfg.OpCost)
 	s.OpsServed.Add(1)
+	// The reply is served from the pinned item's slab memory, so no
+	// copy extends the hold (§V-C).
+	s.chargeLock(clk, req.Key, 0)
 	it, ok := s.store.GetPinned(req.Key, clk.Now())
 	if !ok {
 		reply := EncodeGetReply(GetReply{Status: AMMiss})
@@ -165,20 +192,30 @@ func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data 
 		return
 	}
 	reply := MGetReply{}
-	var values []byte
+	items := make([]*Item, 0, len(req.Keys))
+	total := 0
 	for _, key := range req.Keys {
 		clk.Advance(s.cfg.OpCost)
 		s.OpsServed.Add(1)
-		value, flags, cas, ok := s.store.Get(key, clk.Now())
+		s.chargeLock(clk, key, 0)
+		it, ok := s.store.GetPinned(key, clk.Now())
 		if !ok {
 			continue
 		}
 		reply.Items = append(reply.Items, MGetItem{
-			Key: key, Flags: flags, CAS: cas, ValueLen: len(value),
+			Key: key, Flags: it.Flags(), CAS: it.CAS(), ValueLen: len(it.Value()),
 		})
-		values = append(values, value...)
+		items = append(items, it)
+		total += len(it.Value())
 	}
-	// Assembling the concatenated block is a real copy.
+	// Assemble the concatenated block in one pre-sized copy straight out
+	// of the pinned slab chunks; the pins also keep eviction from
+	// recycling a chunk between lookup and copy.
+	values := make([]byte, 0, total)
+	for _, it := range items {
+		values = append(values, it.Value()...)
+		s.store.Unpin(it)
+	}
 	clk.Advance(simnet.BytesDuration(len(values), s.ucrRT.Config().PackBytesPerSec))
 	_ = ep.Send(clk, AMMGetReply, EncodeMGetReply(reply), values, nil, ucr.CounterID(req.ReplyCtr), nil)
 }
@@ -191,6 +228,7 @@ func (s *Server) amDeleteComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, dat
 	}
 	clk.Advance(s.cfg.OpCost)
 	s.OpsServed.Add(1)
+	s.chargeLock(clk, req.Key, 0)
 	status := AMMiss
 	if s.store.Delete(req.Key, clk.Now()) {
 		status = AMOK
@@ -208,6 +246,7 @@ func (s *Server) amNumComplete(incr bool) ucr.CompletionHandler {
 		}
 		clk.Advance(s.cfg.OpCost)
 		s.OpsServed.Add(1)
+		s.chargeLock(clk, req.Key, 0)
 		val, found, bad, oom := s.store.IncrDecr(req.Key, req.Delta, incr, clk.Now())
 		status := AMOK
 		switch {
