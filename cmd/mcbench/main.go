@@ -4,11 +4,13 @@
 // Usage:
 //
 //	mcbench [-figure fig3a] [-csv] [-ops N] [-list] [-speedups]
-//	        [-stripes N] [-scaling] [-json out.json]
+//	        [-stripes N] [-scaling] [-pipeline [-quick]] [-json out.json]
 //
 // With no -figure, every panel is produced. -scaling appends the
-// multi-core workers x stripes sweep; -json additionally writes every
-// panel (and the sweep) as one machine-readable report.
+// multi-core workers x stripes sweep; -pipeline runs the windowed
+// in-flight depth sweep instead of the figures (-quick trims it for
+// CI); -json additionally writes every panel (and the sweep) as one
+// machine-readable report.
 package main
 
 import (
@@ -23,10 +25,25 @@ import (
 
 // report is the -json payload: everything the run produced, in order.
 type report struct {
-	OpsPerPoint int                  `json:"ops_per_point"`
-	Stripes     int                  `json:"stripes,omitempty"`
-	Figures     []*bench.Figure      `json:"figures,omitempty"`
-	Scaling     []bench.ScalingPoint `json:"scaling,omitempty"`
+	OpsPerPoint int                   `json:"ops_per_point"`
+	Stripes     int                   `json:"stripes,omitempty"`
+	Figures     []*bench.Figure       `json:"figures,omitempty"`
+	Scaling     []bench.ScalingPoint  `json:"scaling,omitempty"`
+	Pipeline    []bench.PipelinePoint `json:"pipeline,omitempty"`
+}
+
+// runPipeline produces the window-depth sweep (single connection,
+// closed loop, cluster B). -quick trims the axes for CI smoke runs.
+func runPipeline(cfg bench.RunConfig, quick bool) []bench.PipelinePoint {
+	p := clusterProfile("B")
+	pts, err := bench.PipelineSweep(p,
+		[]cluster.Transport{cluster.UCRIB, cluster.IPoIB},
+		bench.PipelineDepths(quick), bench.PipelineSizes(quick), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: pipeline: %v\n", err)
+		os.Exit(1)
+	}
+	return pts
 }
 
 // runScaling produces the workers x stripes grid (small gets and the
@@ -151,9 +168,21 @@ func main() {
 		faults    = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
 		stripes   = flag.Int("stripes", 0, "cache-engine lock stripes for figure runs (0 = deployment default)")
 		scaling   = flag.Bool("scaling", false, "append the multi-core workers x stripes sweep")
+		pipeline  = flag.Bool("pipeline", false, "run the pipelined window-depth sweep instead of the figures")
+		quick     = flag.Bool("quick", false, "with -pipeline: trimmed axes for a CI smoke run")
 		jsonPath  = flag.String("json", "", "also write figures and scaling as a JSON report to this path")
 	)
 	flag.Parse()
+
+	if *pipeline {
+		rep := report{OpsPerPoint: *ops}
+		rep.Pipeline = runPipeline(bench.RunConfig{OpsPerPoint: *ops}, *quick)
+		fmt.Print(bench.PipelineTable(rep.Pipeline))
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rep)
+		}
+		return
+	}
 
 	if *ablations {
 		runAblations(bench.RunConfig{OpsPerPoint: *ops})

@@ -137,16 +137,16 @@ func AblationCounterAcks(ops int) (nullUs, complUs float64, acksNull, acksCompl 
 	srvCtx := srvRT.NewContext()
 	srvClk := simnet.NewVClock(0)
 	srvRT.RegisterHandler(midReq, ucr.Handler{
-		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int, _ ucr.CounterID) []byte {
 			return make([]byte, dataLen)
 		},
-		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
 			replyCtr := ucr.CounterID(binary.LittleEndian.Uint64(hdr))
 			_ = ep.Send(clk, midReply, nil, data, nil, replyCtr, nil)
 		},
 	})
 	cliRT.RegisterHandler(midReply, ucr.Handler{
-		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int, _ ucr.CounterID) []byte {
 			return make([]byte, dataLen)
 		},
 	})

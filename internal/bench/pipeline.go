@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+)
+
+// This file is the pipelining study: single connection, closed loop,
+// window of N requests in flight. Depth 1 is the blocking client the
+// figure benchmarks use; deeper windows overlap the per-op fixed costs
+// (doorbell, CQ wakeup, round trip) that serialize the blocking path,
+// and batch posts/polls at the coalesced rates.
+
+// PipelinePoint is one cell of the depth × transport × size sweep.
+type PipelinePoint struct {
+	Transport string  `json:"transport"`
+	Depth     int     `json:"depth"`
+	ValueSize int     `json:"value_size"`
+	KTPS      float64 `json:"ktps"`
+}
+
+// pipelinePoint measures closed-loop Get throughput on one connection
+// at the given window depth: cfg.OpsPerPoint gets are issued through a
+// Pipeline over a pre-populated keyspace, KTPS from the makespan.
+func pipelinePoint(p *cluster.Profile, t cluster.Transport, depth, size int, cfg RunConfig) (float64, error) {
+	cfg = cfg.withDefaults()
+	d := cluster.New(p, cfg.Deploy)
+	defer d.Close()
+	c, err := d.NewClient(t, mcclient.DefaultBehaviors())
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	w := NewWorkload(cfg.Seed, cfg.KeySpace, size)
+	for _, k := range w.Keys() {
+		if err := c.MC.Set(k, w.Value(), 0, 0); err != nil {
+			return 0, err
+		}
+	}
+	pl, ok := c.MC.Transport(0).(mcclient.Pipeliner)
+	if !ok {
+		return 0, fmt.Errorf("bench: transport %s is not pipelinable", t)
+	}
+	pipe := pl.Pipeline(depth)
+	clk := c.Clock
+	start := clk.Now()
+	futures := make([]*mcclient.GetFuture, 0, cfg.OpsPerPoint)
+	for n := 0; n < cfg.OpsPerPoint; n++ {
+		futures = append(futures, pipe.StartGet(clk, w.Key()))
+	}
+	if err := pipe.Wait(clk); err != nil {
+		return 0, err
+	}
+	for _, f := range futures {
+		if _, _, _, hit, ferr := f.Wait(clk); ferr != nil {
+			return 0, ferr
+		} else if !hit {
+			return 0, fmt.Errorf("bench: pipeline get missed")
+		}
+	}
+	makespan := clk.Now() - start
+	return float64(cfg.OpsPerPoint) / makespan.Seconds() / 1e3, nil
+}
+
+// PipelineSweep measures pipelinePoint for every (transport, depth,
+// size) combination, each on a fresh single-server deployment.
+func PipelineSweep(p *cluster.Profile, transports []cluster.Transport, depths, sizes []int, cfg RunConfig) ([]PipelinePoint, error) {
+	var out []PipelinePoint
+	for _, size := range sizes {
+		for _, t := range transports {
+			for _, depth := range depths {
+				ktps, err := pipelinePoint(p, t, depth, size, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: pipeline %s depth=%d size=%d: %w", t, depth, size, err)
+				}
+				out = append(out, PipelinePoint{
+					Transport: string(t), Depth: depth, ValueSize: size, KTPS: ktps,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PipelineTable renders the sweep as one pivot table per value size:
+// rows are window depths, columns transports.
+func PipelineTable(points []PipelinePoint) string {
+	bySize := make(map[int][]PipelinePoint)
+	var sizeOrder []int
+	for _, pt := range points {
+		if _, seen := bySize[pt.ValueSize]; !seen {
+			sizeOrder = append(sizeOrder, pt.ValueSize)
+		}
+		bySize[pt.ValueSize] = append(bySize[pt.ValueSize], pt)
+	}
+	var sb strings.Builder
+	for _, size := range sizeOrder {
+		pts := bySize[size]
+		var depths []int
+		var transports []string
+		seenD := make(map[int]bool)
+		seenT := make(map[string]bool)
+		cell := make(map[string]float64, len(pts))
+		for _, pt := range pts {
+			if !seenD[pt.Depth] {
+				seenD[pt.Depth] = true
+				depths = append(depths, pt.Depth)
+			}
+			if !seenT[pt.Transport] {
+				seenT[pt.Transport] = true
+				transports = append(transports, pt.Transport)
+			}
+			cell[fmt.Sprintf("%s/%d", pt.Transport, pt.Depth)] = pt.KTPS
+		}
+		sort.Ints(depths)
+		fmt.Fprintf(&sb, "# pipeline: %dB values, 1 connection (KTPS)\n", size)
+		sb.WriteString("depth")
+		for _, t := range transports {
+			fmt.Fprintf(&sb, "  %-10s", t)
+		}
+		sb.WriteString("\n")
+		for _, depth := range depths {
+			fmt.Fprintf(&sb, "%-5d", depth)
+			for _, t := range transports {
+				fmt.Fprintf(&sb, "  %-10.2f", cell[fmt.Sprintf("%s/%d", t, depth)])
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// pipelineDepths is the default window-depth axis (BENCH_4 sweep).
+var pipelineDepths = []int{1, 2, 4, 8, 16, 32}
+
+// PipelineDepths returns the default depth axis for the sweep.
+func PipelineDepths(quick bool) []int {
+	if quick {
+		return []int{1, 8}
+	}
+	return append([]int(nil), pipelineDepths...)
+}
+
+// PipelineSizes returns the default value-size axis for the sweep.
+func PipelineSizes(quick bool) []int {
+	if quick {
+		return []int{64}
+	}
+	return []int{64, 4096}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestPipelineSpeedup is the PR's acceptance bar: on a single UCR
+// connection, a window of 8 must beat the blocking client by at least
+// 3x in virtual time — the per-op doorbell, CQ-wakeup and round-trip
+// costs overlap instead of serializing.
+func TestPipelineSpeedup(t *testing.T) {
+	cfg := RunConfig{OpsPerPoint: 200, KeySpace: 16}
+	pts, err := PipelineSweep(cluster.ClusterB(), []cluster.Transport{cluster.UCRIB},
+		[]int{1, 8}, []int{64}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDepth := map[int]float64{}
+	for _, pt := range pts {
+		byDepth[pt.Depth] = pt.KTPS
+	}
+	if byDepth[1] <= 0 || byDepth[8] <= 0 {
+		t.Fatalf("bad sweep: %+v", pts)
+	}
+	speedup := byDepth[8] / byDepth[1]
+	t.Logf("UCR-IB 64B: depth1=%.2f KTPS depth8=%.2f KTPS speedup=%.2fx",
+		byDepth[1], byDepth[8], speedup)
+	if speedup < 3.0 {
+		t.Fatalf("depth-8 speedup %.2fx < 3x (depth1=%.2f depth8=%.2f KTPS)",
+			speedup, byDepth[1], byDepth[8])
+	}
+}
+
+// TestPipelineDepthMonotonic sanity-checks that deepening the window
+// never hurts on either transport (single connection, small values).
+func TestPipelineDepthMonotonic(t *testing.T) {
+	cfg := RunConfig{OpsPerPoint: 120, KeySpace: 16}
+	pts, err := PipelineSweep(cluster.ClusterB(),
+		[]cluster.Transport{cluster.UCRIB, cluster.IPoIB},
+		[]int{1, 4, 16}, []int{64}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]float64{}
+	for _, pt := range pts {
+		if prev, ok := last[pt.Transport]; ok && pt.KTPS < prev*0.95 {
+			t.Errorf("%s depth=%d: %.2f KTPS regressed below depth-shallower %.2f",
+				pt.Transport, pt.Depth, pt.KTPS, prev)
+		}
+		last[pt.Transport] = pt.KTPS
+	}
+}

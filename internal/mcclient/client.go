@@ -130,6 +130,10 @@ func New(clk *simnet.VClock, behaviors Behaviors, servers []Transport) (*Client,
 // Clock reports the client's virtual clock.
 func (c *Client) Clock() *simnet.VClock { return c.clk }
 
+// Transport exposes server i's connection — for pipelined access
+// (assert to Pipeliner) and diagnostics. Panics on a bad index.
+func (c *Client) Transport(i int) Transport { return c.servers[i] }
+
 // ServerFor reports which live server index a key maps to (§II-C: the
 // destination is computed client-side with a hash on the key; ejected
 // servers are skipped). -1 means the pool is empty.

@@ -71,6 +71,11 @@ func (t *SockTransport) Set(clk *simnet.VClock, key string, flags uint32, exptim
 	if t.noReply {
 		return memcached.Stored, nil
 	}
+	return t.readSetReply()
+}
+
+// readSetReply parses one storage-command answer off the stream.
+func (t *SockTransport) readSetReply() (memcached.StoreResult, error) {
 	line, err := t.readLine()
 	if err != nil {
 		return 0, err
@@ -95,6 +100,13 @@ func (t *SockTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uin
 	if _, err := t.conn.Write([]byte("gets " + key + "\r\n")); err != nil {
 		return nil, 0, 0, false, ErrServerDown
 	}
+	return t.readGetReply(nil)
+}
+
+// readGetReply parses one "gets" answer off the stream. A non-nil lend
+// buffer receives the value when it fits (the returned slice aliases
+// it); otherwise the value is freshly allocated.
+func (t *SockTransport) readGetReply(lend []byte) ([]byte, uint32, uint64, bool, error) {
 	line, err := t.readLine()
 	if err != nil {
 		return nil, 0, 0, false, err
@@ -109,7 +121,12 @@ func (t *SockTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uin
 	if _, err := fmt.Sscanf(line, "VALUE %s %d %d %d", &rkey, &flags, &n, &cas); err != nil {
 		return nil, 0, 0, false, fmt.Errorf("mcclient: get: %q", line)
 	}
-	value := make([]byte, n)
+	value := lend
+	if cap(value) >= n {
+		value = value[:n]
+	} else {
+		value = make([]byte, n)
+	}
 	if _, err := io.ReadFull(t.r, value); err != nil {
 		return nil, 0, 0, false, ErrServerDown
 	}
@@ -166,6 +183,11 @@ func (t *SockTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
 	if _, err := t.conn.Write([]byte("delete " + key + "\r\n")); err != nil {
 		return false, ErrServerDown
 	}
+	return t.readDeleteReply()
+}
+
+// readDeleteReply parses one delete answer off the stream.
+func (t *SockTransport) readDeleteReply() (bool, error) {
 	line, err := t.readLine()
 	if err != nil {
 		return false, err

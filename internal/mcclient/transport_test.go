@@ -23,7 +23,7 @@ type stack struct {
 	server  *memcached.Server
 }
 
-func newStack(t *testing.T) *stack {
+func newStack(t testing.TB) *stack {
 	t.Helper()
 	st := &stack{}
 	st.nw = simnet.NewNetwork()
@@ -61,7 +61,7 @@ func newStack(t *testing.T) *stack {
 }
 
 // sockClient dials a socket transport from a fresh node.
-func (st *stack) sockClient(t *testing.T) *SockTransport {
+func (st *stack) sockClient(t testing.TB) *SockTransport {
 	t.Helper()
 	node := st.nw.AddNode(fmt.Sprintf("sockcli%d", len(st.nw.Nodes())))
 	st.fab.Attach(node)
@@ -73,7 +73,7 @@ func (st *stack) sockClient(t *testing.T) *SockTransport {
 }
 
 // ucrClient dials a UCR transport from a fresh node.
-func (st *stack) ucrClient(t *testing.T) (*UCRTransport, *ucr.Context) {
+func (st *stack) ucrClient(t testing.TB) (*UCRTransport, *ucr.Context) {
 	t.Helper()
 	node := st.nw.AddNode(fmt.Sprintf("ucrcli%d", len(st.nw.Nodes())))
 	hca := verbs.NewHCA(node, st.fab, verbs.Config{

@@ -14,24 +14,43 @@ import (
 // the server's AM 2 reply targets C. Get replies land in a client-local
 // buffer pool, sized on demand when the header handler learns the item
 // length (§V-C).
+//
+// Every request gets a fresh counter, whose id doubles as the request
+// tag: the reply AM targets that counter, so the reply handlers route
+// by tag into a slot table. With one request in flight this changes
+// nothing; with a pipelined window it lets any number of replies land
+// out of order, and a late duplicate from a timed-out attempt (its tag
+// no longer in the table) is dropped instead of clobbering the slot of
+// whatever request happens to be waiting.
 type UCRTransport struct {
 	name    string
 	rt      *ucr.Runtime
 	ctx     *ucr.Context
 	ep      *ucr.Endpoint
-	ctr     *ucr.Counter
-	replies uint64
 	timeout simnet.Duration
 	noReply bool
 
-	// Reply slots, written by the AM handlers while this transport's
-	// owner drives progress.
-	valueBuf  []byte // local buffer pool for get replies
-	gotStatus memcached.StatusReply
-	gotGet    memcached.GetReply
-	gotMGet   memcached.MGetReply
-	gotNum    memcached.NumReply
-	gotValue  []byte
+	// Tagged reply slots, written by the AM handlers while this
+	// transport's owner drives progress.
+	slots    map[ucr.CounterID]*amOp
+	scratch  []byte   // landing space for replies whose tag matches no slot
+	freeBufs [][]byte // pooled landing buffers for get/mget values
+	freeOps  []*amOp
+}
+
+// amOp is one in-flight request: its tag (= reply counter id), where
+// the reply landed, and how to (re-)send it.
+type amOp struct {
+	tag    ucr.CounterID
+	ctr    *ucr.Counter
+	lend   []byte // caller-lent value buffer (GetInto); nil = pool
+	pooled bool   // data came from the transport pool: recycle on finish
+	data   []byte // landed value bytes
+	status memcached.StatusReply
+	get    memcached.GetReply
+	mget   memcached.MGetReply
+	num    memcached.NumReply
+	send   func() error
 }
 
 // DialUCR establishes a reliable UCR endpoint to a memcached server and
@@ -58,9 +77,9 @@ func dialUCR(rt *ucr.Runtime, ctx *ucr.Context, to *simnet.Node, service string,
 		rt:      rt,
 		ctx:     ctx,
 		ep:      ep,
-		ctr:     rt.NewCounter(),
 		timeout: behaviors.OpTimeout,
 		noReply: behaviors.NoReply,
+		slots:   make(map[ucr.CounterID]*amOp),
 	}
 	ep.UserData = t
 	return t, nil
@@ -69,68 +88,155 @@ func dialUCR(rt *ucr.Runtime, ctx *ucr.Context, to *simnet.Node, service string,
 // RegisterClientHandlers installs the AM 2 reply handlers on a client
 // runtime. Safe to call repeatedly.
 func RegisterClientHandlers(rt *ucr.Runtime) {
-	rt.RegisterHandler(memcached.AMSetReply, ucr.Handler{
-		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte { return nil },
-		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
-			t, ok := ep.UserData.(*UCRTransport)
-			if !ok {
-				return
-			}
-			t.gotStatus, _ = memcached.DecodeStatusReply(hdr)
-		},
-	})
+	nilHeader := func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil }
+	statusCompletion := func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, tag ucr.CounterID) {
+		t, ok := ep.UserData.(*UCRTransport)
+		if !ok {
+			return
+		}
+		if op := t.slots[tag]; op != nil {
+			op.status, _ = memcached.DecodeStatusReply(hdr)
+		}
+	}
+	rt.RegisterHandler(memcached.AMSetReply, ucr.Handler{Header: nilHeader, Completion: statusCompletion})
+	rt.RegisterHandler(memcached.AMDeleteReply, ucr.Handler{Header: nilHeader, Completion: statusCompletion})
 	rt.RegisterHandler(memcached.AMGetReply, ucr.Handler{
-		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int, tag ucr.CounterID) []byte {
 			t, ok := ep.UserData.(*UCRTransport)
 			if !ok {
 				return nil
 			}
-			// §V-C: the client learns the item size here and allocates
-			// the destination from its local buffer pool.
-			if cap(t.valueBuf) < dataLen {
-				t.valueBuf = make([]byte, dataLen)
-			}
-			return t.valueBuf[:dataLen]
+			// §V-C: the client learns the item size here and picks the
+			// destination — the request's lent or pooled buffer.
+			return t.landingBuf(tag, dataLen)
 		},
-		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, tag ucr.CounterID) {
 			t, ok := ep.UserData.(*UCRTransport)
 			if !ok {
 				return
 			}
-			t.gotGet, _ = memcached.DecodeGetReply(hdr)
-			t.gotValue = data
+			if op := t.slots[tag]; op != nil {
+				op.get, _ = memcached.DecodeGetReply(hdr)
+				op.data = data
+			}
 		},
 	})
 	rt.RegisterHandler(memcached.AMMGetReply, ucr.Handler{
-		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int, tag ucr.CounterID) []byte {
 			t, ok := ep.UserData.(*UCRTransport)
 			if !ok {
 				return nil
 			}
-			if cap(t.valueBuf) < dataLen {
-				t.valueBuf = make([]byte, dataLen)
-			}
-			return t.valueBuf[:dataLen]
+			return t.landingBuf(tag, dataLen)
 		},
-		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, tag ucr.CounterID) {
 			t, ok := ep.UserData.(*UCRTransport)
 			if !ok {
 				return
 			}
-			t.gotMGet, _ = memcached.DecodeMGetReply(hdr)
-			t.gotValue = data
+			if op := t.slots[tag]; op != nil {
+				op.mget, _ = memcached.DecodeMGetReply(hdr)
+				op.data = data
+			}
 		},
 	})
 	rt.RegisterHandler(memcached.AMNumReply, ucr.Handler{
-		Header: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte { return nil },
-		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+		Header: nilHeader,
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, tag ucr.CounterID) {
 			t, ok := ep.UserData.(*UCRTransport)
 			if !ok {
 				return
 			}
-			t.gotNum, _ = memcached.DecodeNumReply(hdr)
+			if op := t.slots[tag]; op != nil {
+				op.num, _ = memcached.DecodeNumReply(hdr)
+			}
 		},
 	})
+}
+
+// landingBuf picks where a reply value lands: the tagged request's lent
+// buffer when it fits, a pooled buffer otherwise — or the transport's
+// scratch space when the tag matches no slot (a late duplicate from a
+// timed-out attempt), which lands there and is dropped without touching
+// any live request.
+func (t *UCRTransport) landingBuf(tag ucr.CounterID, dataLen int) []byte {
+	if dataLen == 0 {
+		return nil
+	}
+	op := t.slots[tag]
+	if op == nil {
+		return t.scratchFor(dataLen)
+	}
+	if op.lend != nil && cap(op.lend) >= dataLen {
+		op.pooled = false
+		op.data = op.lend[:dataLen]
+	} else {
+		op.pooled = true
+		op.data = t.takeBuf(dataLen)
+	}
+	return op.data
+}
+
+// scratchCap bounds the retained stale-reply landing buffer.
+const scratchCap = 64 << 10
+
+func (t *UCRTransport) scratchFor(n int) []byte {
+	if n > scratchCap {
+		return make([]byte, n)
+	}
+	if cap(t.scratch) < n {
+		t.scratch = make([]byte, n, scratchCap)
+	}
+	return t.scratch[:n]
+}
+
+// takeBuf pops a pooled landing buffer (growing it if undersized).
+func (t *UCRTransport) takeBuf(n int) []byte {
+	if k := len(t.freeBufs); k > 0 {
+		b := t.freeBufs[k-1]
+		t.freeBufs = t.freeBufs[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (t *UCRTransport) recycleBuf(b []byte) {
+	if cap(b) > 0 && len(t.freeBufs) < 16 {
+		t.freeBufs = append(t.freeBufs, b[:cap(b)])
+	}
+}
+
+// newOp opens a tagged request slot around a fresh counter. Counter ids
+// are never reused by the runtime, so a tag uniquely names one request
+// for the transport's lifetime.
+func (t *UCRTransport) newOp() *amOp {
+	var op *amOp
+	if k := len(t.freeOps); k > 0 {
+		op = t.freeOps[k-1]
+		t.freeOps = t.freeOps[:k-1]
+		*op = amOp{}
+	} else {
+		op = &amOp{}
+	}
+	op.ctr = t.rt.NewCounter()
+	op.tag = op.ctr.ID()
+	t.slots[op.tag] = op
+	return op
+}
+
+// finishOp retires a request: the tag leaves the slot table (late
+// duplicates now land in scratch), the counter is freed (their bumps
+// become no-ops), and the pooled landing buffer is recycled.
+func (t *UCRTransport) finishOp(op *amOp) {
+	delete(t.slots, op.tag)
+	t.rt.FreeCounter(op.ctr)
+	if op.pooled {
+		t.recycleBuf(op.data)
+	}
+	*op = amOp{}
+	t.freeOps = append(t.freeOps, op)
 }
 
 // Name identifies the server.
@@ -139,47 +245,75 @@ func (t *UCRTransport) Name() string { return t.name }
 // Endpoint exposes the UCR endpoint (tests).
 func (t *UCRTransport) Endpoint() *ucr.Endpoint { return t.ep }
 
-// request issues a request AM via send and blocks on counter C (§V-B:
-// "a blocking call with client specified timeout"). With the runtime's
-// AMRetries knob set, a timed-out request is re-sent — the per-attempt
-// wait is the op timeout split across attempts, so the overall deadline
-// holds — and only after the budget is exhausted is the endpoint marked
-// failed (§IV-A: the client decides the server has gone down, isolating
-// this endpoint without touching the runtime).
-//
-// Retried requests are idempotent at this protocol level: a duplicate
-// reply only bumps counter C again, which the resync below absorbs.
-func (t *UCRTransport) request(clk *simnet.VClock, send func() error) error {
-	target := t.replies + 1
+// do sends op and blocks on its counter (§V-B: "a blocking call with
+// client specified timeout"). With the runtime's AMRetries knob set, a
+// timed-out request is re-sent — the per-attempt wait is the op timeout
+// split across attempts, so the overall deadline holds — and only after
+// the budget is exhausted is the endpoint marked failed (§IV-A: the
+// client decides the server has gone down, isolating this endpoint
+// without touching the runtime). On error the op is retired; on success
+// the caller reads the slot and retires it.
+func (t *UCRTransport) do(clk *simnet.VClock, op *amOp) error {
 	attempts := 1 + t.rt.Config().AMRetries
-	var per simnet.Duration
-	if t.timeout > 0 {
-		per = t.timeout / simnet.Duration(attempts)
-		if per <= 0 {
-			per = 1
-		}
-	}
+	per := t.perAttempt(attempts)
 	for a := 0; a < attempts; a++ {
-		if err := send(); err != nil {
-			t.replies = target
+		if err := op.send(); err != nil {
+			t.finishOp(op)
 			return ErrServerDown
 		}
-		err := t.ctx.WaitCounter(clk, t.ctr, target, per)
+		err := t.ctx.WaitCounter(clk, op.ctr, 1, per)
 		if err == nil {
-			// A retried request can produce duplicate replies; resync so
-			// the next wait targets the true counter position.
-			if v := t.ctr.Value(); v > target {
-				target = v
-			}
-			t.replies = target
 			return nil
 		}
 		if err != ucr.ErrTimeout {
-			t.replies = target
+			t.finishOp(op)
 			return ErrServerDown
 		}
 	}
-	t.replies = target
+	t.finishOp(op)
+	t.ep.MarkFailed()
+	return ErrServerDown
+}
+
+// perAttempt splits the op timeout across the retry budget.
+func (t *UCRTransport) perAttempt(attempts int) simnet.Duration {
+	if t.timeout <= 0 {
+		return 0
+	}
+	per := t.timeout / simnet.Duration(attempts)
+	if per <= 0 {
+		per = 1
+	}
+	return per
+}
+
+// waitDone is the pipelined-wait half of do: the op was already sent
+// when its window flushed, so this only drives progress — draining the
+// CQ in batches sized to the window — and re-sends after per-attempt
+// timeouts. The caller owns retiring the op.
+func (t *UCRTransport) waitDone(clk *simnet.VClock, op *amOp, batch int) error {
+	if op.ctr.Value() >= 1 {
+		return nil
+	}
+	if t.ep.Failed() {
+		return ErrServerDown
+	}
+	attempts := 1 + t.rt.Config().AMRetries
+	per := t.perAttempt(attempts)
+	for a := 0; a < attempts; a++ {
+		err := t.ctx.WaitCounterBatch(clk, op.ctr, 1, per, batch)
+		if err == nil {
+			return nil
+		}
+		if err != ucr.ErrTimeout {
+			return ErrServerDown
+		}
+		if a+1 < attempts {
+			if serr := op.send(); serr != nil {
+				return ErrServerDown
+			}
+		}
+	}
 	t.ep.MarkFailed()
 	return ErrServerDown
 }
@@ -204,34 +338,85 @@ func (t *UCRTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime
 		}
 		return memcached.Stored, nil
 	}
+	op := t.newOp()
 	hdr := memcached.EncodeSetReq(memcached.SetReq{
-		ReplyCtr: t.ctr.ID(), Flags: flags, Exptime: exptime, Key: key,
+		ReplyCtr: op.tag, Flags: flags, Exptime: exptime, Key: key,
 	})
-	if err := t.request(clk, func() error {
+	op.send = func() error {
 		return t.ep.Send(clk, memcached.AMSet, hdr, value, nil, 0, nil)
-	}); err != nil {
+	}
+	if err := t.do(clk, op); err != nil {
 		return 0, err
 	}
-	if t.gotStatus.Status != memcached.AMOK {
-		return t.gotStatus.Result, nil
+	defer t.finishOp(op)
+	if op.status.Status != memcached.AMOK {
+		return op.status.Result, nil
 	}
 	return memcached.Stored, nil
 }
 
+// getOp issues one get request and blocks for its reply; the caller
+// reads the slot and retires it.
+func (t *UCRTransport) getOp(clk *simnet.VClock, key string, lend []byte) (*amOp, error) {
+	op := t.newOp()
+	op.lend = lend
+	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+	op.send = func() error {
+		return t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
+	}
+	if err := t.do(clk, op); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
 // Get implements Transport.
 func (t *UCRTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
-	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: t.ctr.ID(), Key: key})
-	if err := t.request(clk, func() error {
-		return t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
-	}); err != nil {
+	op, err := t.getOp(clk, key, nil)
+	if err != nil {
 		return nil, 0, 0, false, err
 	}
-	if t.gotGet.Status != memcached.AMOK {
+	defer t.finishOp(op)
+	if op.get.Status != memcached.AMOK {
 		return nil, 0, 0, false, nil
 	}
-	out := make([]byte, len(t.gotValue))
-	copy(out, t.gotValue)
-	return out, t.gotGet.Flags, t.gotGet.CAS, true, nil
+	out := make([]byte, len(op.data))
+	copy(out, op.data)
+	return out, op.get.Flags, op.get.CAS, true, nil
+}
+
+// GetInto is Get with a caller-lent value buffer: when the value fits
+// in cap(buf), the reply header handler lands it directly there and the
+// returned slice aliases buf — no allocation and no copy on the hot
+// path. A value too large for buf is returned in a fresh allocation.
+func (t *UCRTransport) GetInto(clk *simnet.VClock, key string, buf []byte) ([]byte, uint32, uint64, bool, error) {
+	op, err := t.getOp(clk, key, buf)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	defer t.finishOp(op)
+	if op.get.Status != memcached.AMOK {
+		return nil, 0, 0, false, nil
+	}
+	v := op.data
+	if op.pooled {
+		v = append([]byte(nil), op.data...)
+	}
+	return v, op.get.Flags, op.get.CAS, true, nil
+}
+
+// mgetOp issues one multi-get AM and blocks for its reply.
+func (t *UCRTransport) mgetOp(clk *simnet.VClock, keys []string, lend []byte) (*amOp, error) {
+	op := t.newOp()
+	op.lend = lend
+	hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
+	op.send = func() error {
+		return t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil)
+	}
+	if err := t.do(clk, op); err != nil {
+		return nil, err
+	}
+	return op, nil
 }
 
 // GetMulti implements Transport with a single mget active message: the
@@ -241,21 +426,49 @@ func (t *UCRTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][
 	if len(keys) == 0 {
 		return map[string][]byte{}, nil
 	}
-	hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: uint64(t.ctr.ID()), Keys: keys})
-	if err := t.request(clk, func() error {
-		return t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil)
-	}); err != nil {
+	op, err := t.mgetOp(clk, keys, nil)
+	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]byte, len(t.gotMGet.Items))
+	defer t.finishOp(op)
+	out := make(map[string][]byte, len(op.mget.Items))
 	off := 0
-	for _, it := range t.gotMGet.Items {
-		if off+it.ValueLen > len(t.gotValue) {
+	for _, it := range op.mget.Items {
+		if off+it.ValueLen > len(op.data) {
 			return nil, memcached.ErrShortAMHeader
 		}
 		v := make([]byte, it.ValueLen)
-		copy(v, t.gotValue[off:off+it.ValueLen])
+		copy(v, op.data[off:off+it.ValueLen])
 		out[it.Key] = v
+		off += it.ValueLen
+	}
+	return out, nil
+}
+
+// GetMultiInto is GetMulti with a caller-lent buffer for the
+// concatenated value block: when it fits in cap(buf), the returned map
+// values are subslices of buf — zero copies. The caller must consume
+// them before reusing buf.
+func (t *UCRTransport) GetMultiInto(clk *simnet.VClock, keys []string, buf []byte) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	op, err := t.mgetOp(clk, keys, buf)
+	if err != nil {
+		return nil, err
+	}
+	defer t.finishOp(op)
+	block := op.data
+	if op.pooled {
+		block = append([]byte(nil), op.data...)
+	}
+	out := make(map[string][]byte, len(op.mget.Items))
+	off := 0
+	for _, it := range op.mget.Items {
+		if off+it.ValueLen > len(block) {
+			return nil, memcached.ErrShortAMHeader
+		}
+		out[it.Key] = block[off : off+it.ValueLen : off+it.ValueLen]
 		off += it.ValueLen
 	}
 	return out, nil
@@ -263,30 +476,36 @@ func (t *UCRTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][
 
 // Delete implements Transport.
 func (t *UCRTransport) Delete(clk *simnet.VClock, key string) (bool, error) {
-	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: t.ctr.ID(), Key: key})
-	if err := t.request(clk, func() error {
+	op := t.newOp()
+	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+	op.send = func() error {
 		return t.ep.Send(clk, memcached.AMDelete, hdr, nil, nil, 0, nil)
-	}); err != nil {
+	}
+	if err := t.do(clk, op); err != nil {
 		return false, err
 	}
-	return t.gotStatus.Status == memcached.AMOK, nil
+	defer t.finishOp(op)
+	return op.status.Status == memcached.AMOK, nil
 }
 
 // IncrDecr implements Transport.
 func (t *UCRTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, incr bool) (uint64, bool, bool, error) {
-	op := memcached.AMIncr
+	amID := memcached.AMIncr
 	if !incr {
-		op = memcached.AMDecr
+		amID = memcached.AMDecr
 	}
-	hdr := memcached.EncodeNumReq(memcached.NumReq{ReplyCtr: t.ctr.ID(), Delta: delta, Key: key})
-	if err := t.request(clk, func() error {
-		return t.ep.Send(clk, op, hdr, nil, nil, 0, nil)
-	}); err != nil {
+	op := t.newOp()
+	hdr := memcached.EncodeNumReq(memcached.NumReq{ReplyCtr: op.tag, Delta: delta, Key: key})
+	op.send = func() error {
+		return t.ep.Send(clk, amID, hdr, nil, nil, 0, nil)
+	}
+	if err := t.do(clk, op); err != nil {
 		return 0, false, false, err
 	}
-	switch t.gotNum.Status {
+	defer t.finishOp(op)
+	switch op.num.Status {
 	case memcached.AMOK:
-		return t.gotNum.Value, true, false, nil
+		return op.num.Value, true, false, nil
 	case memcached.AMBadValue:
 		return 0, true, true, nil
 	case memcached.AMError:
@@ -300,6 +519,9 @@ func (t *UCRTransport) IncrDecr(clk *simnet.VClock, key string, delta uint64, in
 
 // Close implements Transport.
 func (t *UCRTransport) Close() {
-	t.rt.FreeCounter(t.ctr)
+	for tag, op := range t.slots {
+		delete(t.slots, tag)
+		t.rt.FreeCounter(op.ctr)
+	}
 	t.ep.Close()
 }

@@ -19,6 +19,10 @@ const (
 	AMSetReply uint8 = 0x20
 	AMGetReply uint8 = 0x21
 	AMNumReply uint8 = 0x22 // incr/decr reply carrying the new value
+	// AMDeleteReply is wire-identical to AMSetReply (a StatusReply) but
+	// carries its own id so per-op trace/metrics counters can tell a
+	// delete answer from a store answer.
+	AMDeleteReply uint8 = 0x24
 )
 
 // AM reply status codes.

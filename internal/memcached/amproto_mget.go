@@ -2,6 +2,8 @@ package memcached
 
 import (
 	"encoding/binary"
+
+	"repro/internal/ucr"
 )
 
 // Multi-get over UCR: one AM 1 carries the whole key batch, one AM 2
@@ -17,7 +19,7 @@ const (
 
 // MGetReq is the AM 1 header for a multi-get.
 type MGetReq struct {
-	ReplyCtr uint64 // ucr.CounterID; kept numeric to avoid import cycles in callers
+	ReplyCtr ucr.CounterID
 	Keys     []string
 }
 
@@ -29,7 +31,7 @@ func EncodeMGetReq(r MGetReq) []byte {
 	}
 	b := make([]byte, n)
 	le := binary.LittleEndian
-	le.PutUint64(b, r.ReplyCtr)
+	le.PutUint64(b, uint64(r.ReplyCtr))
 	le.PutUint16(b[8:], uint16(len(r.Keys)))
 	off := 10
 	for _, k := range r.Keys {
@@ -46,7 +48,7 @@ func DecodeMGetReq(b []byte) (MGetReq, error) {
 		return MGetReq{}, ErrShortAMHeader
 	}
 	le := binary.LittleEndian
-	r := MGetReq{ReplyCtr: le.Uint64(b)}
+	r := MGetReq{ReplyCtr: ucr.CounterID(le.Uint64(b))}
 	nkeys := int(le.Uint16(b[8:]))
 	off := 10
 	r.Keys = make([]string, 0, nkeys)

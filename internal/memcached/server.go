@@ -35,6 +35,13 @@ type ServerConfig struct {
 	// UCREvents switches the UCR workers from CQ polling to interrupt-
 	// style events (ablation: §II-A1 — polling gives the lowest latency).
 	UCREvents bool
+	// UCRDrainBatch is how many completions a UCR worker may harvest per
+	// batched CQ drain (default 16): the first at the full poll cost,
+	// the rest — only those already visible — at the coalesced cost.
+	// With a single blocking client at most one completion is ever
+	// visible at a time, so the batch never engages and per-op timing is
+	// unchanged; it pays off under pipelined windows.
+	UCRDrainBatch int
 	// AcceptRealCap bounds listener waits in real time (shutdown knob).
 	AcceptRealCap time.Duration
 }
@@ -45,6 +52,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.AcceptRealCap <= 0 {
 		c.AcceptRealCap = 100 * time.Millisecond
+	}
+	if c.UCRDrainBatch <= 0 {
+		c.UCRDrainBatch = 16
 	}
 	if c.CopyBytesPerSec <= 0 {
 		c.CopyBytesPerSec = 5e9
@@ -388,10 +398,11 @@ func (w *worker) handleUCRAccept(ev workEvent) {
 	w.ack(ev)
 }
 
-// handleUCRReady drains the context's pending completions, then sweeps
-// finished reply pins.
+// handleUCRReady drains the context's pending completions in batched
+// sweeps (one full-cost poll per wake, coalesced harvests for whatever
+// else is already visible), then sweeps finished reply pins.
 func (w *worker) handleUCRReady(ev workEvent) {
-	for w.ctx.TryProgress(w.clk) {
+	for w.ctx.TryProgressN(w.clk, w.srv.cfg.UCRDrainBatch) > 0 {
 	}
 	w.sweepPins()
 	w.ack(ev)

@@ -70,23 +70,23 @@ func (s *Server) registerAMHandlers(rt *ucr.Runtime) {
 		Completion: s.amSetComplete,
 	})
 	rt.RegisterHandler(AMGet, ucr.Handler{
-		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amGetComplete,
 	})
 	rt.RegisterHandler(AMMGet, ucr.Handler{
-		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amMGetComplete,
 	})
 	rt.RegisterHandler(AMDelete, ucr.Handler{
-		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amDeleteComplete,
 	})
 	rt.RegisterHandler(AMIncr, ucr.Handler{
-		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amNumComplete(true),
 	})
 	rt.RegisterHandler(AMDecr, ucr.Handler{
-		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int) []byte { return nil },
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amNumComplete(false),
 	})
 }
@@ -94,7 +94,7 @@ func (s *Server) registerAMHandlers(rt *ucr.Runtime) {
 // amSetHeader identifies where the item will be stored — the paper's
 // "identifies where it wants to store the item. Then, it issues an RDMA
 // Read to that destination memory location" (§V-B).
-func (s *Server) amSetHeader(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int) []byte {
+func (s *Server) amSetHeader(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, dataLen int, _ ucr.CounterID) []byte {
 	w := s.workerFor(ep)
 	req, err := DecodeSetReq(hdr)
 	if err != nil {
@@ -111,7 +111,7 @@ func (s *Server) amSetHeader(clk *simnet.VClock, ep *ucr.Endpoint, hdr []byte, d
 }
 
 // amSetComplete commits the item and answers with AM 2 (§V-B).
-func (s *Server) amSetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+func (s *Server) amSetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
 	w := s.workerFor(ep)
 	pend := w.pendingSets[ep]
 	if len(pend) == 0 {
@@ -144,7 +144,7 @@ func (s *Server) amSetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data [
 // amGetComplete looks the item up and answers with AM 2 carrying the
 // value (§V-C). Large values stay pinned in slab memory until the
 // client's RDMA read completes (tracked by the reply's origin counter).
-func (s *Server) amGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+func (s *Server) amGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
 	w := s.workerFor(ep)
 	req, err := DecodeKeyReq(hdr)
 	if err != nil {
@@ -186,7 +186,7 @@ func (s *Server) amGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data [
 // metadata in the header, the values concatenated as the data block
 // (eager in one transaction when small, one client RDMA read when
 // large).
-func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
 	req, err := DecodeMGetReq(hdr)
 	if err != nil {
 		return
@@ -217,11 +217,11 @@ func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data 
 		s.store.Unpin(it)
 	}
 	clk.Advance(simnet.BytesDuration(len(values), s.ucrRT.Config().PackBytesPerSec))
-	_ = ep.Send(clk, AMMGetReply, EncodeMGetReply(reply), values, nil, ucr.CounterID(req.ReplyCtr), nil)
+	_ = ep.Send(clk, AMMGetReply, EncodeMGetReply(reply), values, nil, req.ReplyCtr, nil)
 }
 
 // amDeleteComplete serves delete.
-func (s *Server) amDeleteComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+func (s *Server) amDeleteComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
 	req, err := DecodeKeyReq(hdr)
 	if err != nil {
 		return
@@ -234,12 +234,12 @@ func (s *Server) amDeleteComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, dat
 		status = AMOK
 	}
 	reply := EncodeStatusReply(StatusReply{Status: status})
-	_ = ep.Send(clk, AMSetReply, reply, nil, nil, req.ReplyCtr, nil)
+	_ = ep.Send(clk, AMDeleteReply, reply, nil, nil, req.ReplyCtr, nil)
 }
 
 // amNumComplete serves incr/decr.
 func (s *Server) amNumComplete(incr bool) ucr.CompletionHandler {
-	return func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte) {
+	return func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
 		req, err := DecodeNumReq(hdr)
 		if err != nil {
 			return

@@ -1,0 +1,121 @@
+package ucr
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/verbs"
+)
+
+// This file is the batching face of the runtime: doorbell-coalesced
+// posting for pipelined senders and batched CQ draining for pipelined
+// waiters. Both leave the one-at-a-time paths (sendPacket via PostSend,
+// WaitCounter via ProgressDeadline) charging exactly what they always
+// did — a batch of one is the old code.
+
+// postBatch accumulates the work requests of packets sent between
+// BeginPostBatch and FlushPosts so one doorbell ring covers them all.
+type postBatch struct {
+	qp   *verbs.QP
+	wrs  []verbs.SendWR
+	undo []func() // per-WR cleanup, run if the burst fails to post
+}
+
+// BeginPostBatch opens a doorbell batch on the context: packets sent
+// until FlushPosts are encoded and charged as usual, but their work
+// requests are held back and posted as one PostSendN burst. Only sends
+// on one QP coalesce — a packet for a different endpoint (e.g. an ack
+// emitted while progressing) posts immediately, keeping the batch a
+// pure same-endpoint doorbell optimization.
+func (c *Context) BeginPostBatch() {
+	if c.batch == nil {
+		c.batch = &postBatch{}
+	}
+}
+
+// queuePost absorbs a WR into the open batch. false means no batch is
+// open (or the WR is for another QP) and the caller must post directly.
+func (c *Context) queuePost(qp *verbs.QP, wr verbs.SendWR, undo func()) bool {
+	b := c.batch
+	if b == nil {
+		return false
+	}
+	if b.qp == nil {
+		b.qp = qp
+	}
+	if b.qp != qp {
+		return false
+	}
+	b.wrs = append(b.wrs, wr)
+	b.undo = append(b.undo, undo)
+	return true
+}
+
+// FlushPosts closes the batch and rings the doorbell once for every
+// held-back WR. On error the per-WR cleanups run (the endpoint is
+// failing; the packets never reached the wire).
+func (c *Context) FlushPosts(clk *simnet.VClock) error {
+	b := c.batch
+	c.batch = nil
+	if b == nil || len(b.wrs) == 0 {
+		return nil
+	}
+	if err := b.qp.PostSendN(clk, b.wrs); err != nil {
+		for _, undo := range b.undo {
+			undo()
+		}
+		return ErrEndpointDown
+	}
+	return nil
+}
+
+// TryProgressN processes up to max completions in one batched drain: the
+// first is harvested at the full poll/interrupt cost (synchronizing the
+// clock to its arrival), the rest — only those already visible at the
+// advanced clock — at the coalesced cost. max <= 1 degenerates to
+// TryProgress. Returns how many completions were processed.
+func (c *Context) TryProgressN(clk *simnet.VClock, max int) int {
+	wc, ok := c.cq.TryPollWith(clk)
+	if !ok {
+		return 0
+	}
+	c.dispatch(clk, wc)
+	n := 1
+	for n < max {
+		wc, ok := c.cq.TryPollReady(clk)
+		if !ok {
+			break
+		}
+		c.dispatch(clk, wc)
+		n++
+	}
+	return n
+}
+
+// WaitCounterBatch is WaitCounter with batched CQ draining: after every
+// full-cost harvest it sweeps up to batch-1 further already-visible
+// completions at the coalesced cost, so a pipelined waiter pays one
+// wakeup for a burst of replies instead of one per reply. batch <= 1 is
+// WaitCounter exactly.
+func (c *Context) WaitCounterBatch(clk *simnet.VClock, ctr *Counter, target uint64, timeout simnet.Duration, batch int) error {
+	realCap := c.rt.cfg.RealSilenceCap
+	if timeout <= 0 {
+		timeout = simnet.Time(1) << 50
+	}
+	deadline := clk.Now() + timeout
+	for ctr.Value() < target {
+		ok, timedOut := c.ProgressDeadline(clk, deadline, realCap)
+		if timedOut {
+			return ErrTimeout
+		}
+		if !ok {
+			return ErrClosed
+		}
+		for extra := 1; extra < batch; extra++ {
+			wc, ok := c.cq.TryPollReady(clk)
+			if !ok {
+				break
+			}
+			c.dispatch(clk, wc)
+		}
+	}
+	return nil
+}

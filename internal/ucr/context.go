@@ -26,6 +26,7 @@ type Context struct {
 	rndzOrigin      map[uint64]rndzOriginState
 	nextWR          uint64
 	nextSeq         uint64
+	batch           *postBatch // open doorbell batch (BeginPostBatch)
 
 	// stats
 	amsIn, amsOut, acksIn, acksOut, rdmaReads uint64
@@ -347,7 +348,7 @@ func (c *Context) handleEager(clk *simnet.VClock, ep *Endpoint, pkt packet) {
 		return // no consumer: drop, as an unhandled AM would be
 	}
 	clk.Advance(c.rt.cfg.HandlerOverhead)
-	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen)
+	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen, pkt.targetCtr)
 	var data []byte
 	if pkt.dataLen > 0 {
 		if len(dst) < pkt.dataLen {
@@ -359,7 +360,7 @@ func (c *Context) handleEager(clk *simnet.VClock, ep *Endpoint, pkt packet) {
 		data = dst[:pkt.dataLen]
 	}
 	if h.Completion != nil {
-		h.Completion(clk, ep, pkt.hdr, data)
+		h.Completion(clk, ep, pkt.hdr, data, pkt.targetCtr)
 	}
 	c.rt.lookupCounter(pkt.targetCtr).bump()
 	if pkt.complCtr != 0 {
@@ -377,7 +378,7 @@ func (c *Context) handleRndzHdr(clk *simnet.VClock, ep *Endpoint, pkt packet) {
 		return
 	}
 	clk.Advance(c.rt.cfg.HandlerOverhead)
-	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen)
+	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen, pkt.targetCtr)
 	if len(dst) < pkt.dataLen {
 		ep.markFailed()
 		return
@@ -422,7 +423,7 @@ func (c *Context) onReadComplete(clk *simnet.VClock, wc verbs.WC) {
 	}
 	h := c.rt.handler(rd.msgID)
 	if h != nil && h.Completion != nil {
-		h.Completion(clk, rd.ep, rd.hdr, rd.dst)
+		h.Completion(clk, rd.ep, rd.hdr, rd.dst, rd.targetCtrID)
 	}
 	c.rt.lookupCounter(rd.targetCtrID).bump()
 	// One internal message carries both the origin-counter update (the

@@ -141,6 +141,16 @@ func (ep *Endpoint) sendPacket(clk *simnet.VClock, pkt *packet, originCtr *Count
 	id := ep.ctx.wrID()
 	ep.ctx.pendingSends[id] = pendingSend{ep: ep, buf: buf, originCtr: originCtr}
 	wr := verbs.SendWR{ID: id, Op: verbs.OpSend, Local: buf[:n], Dest: ep.ah}
+	if ep.ctx.queuePost(ep.qp, wr, func() {
+		delete(ep.ctx.pendingSends, id)
+		ep.releaseSendBuf(buf)
+		ep.markFailed()
+	}) {
+		if !ep.noCredits {
+			ep.sendCredits--
+		}
+		return nil
+	}
 	if err := ep.qp.PostSend(clk, wr); err != nil {
 		delete(ep.ctx.pendingSends, id)
 		ep.releaseSendBuf(buf)

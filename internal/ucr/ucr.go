@@ -96,13 +96,18 @@ func (c *Counter) bump() {
 // perform limited logic and must return the destination buffer for the
 // data — at least dataLen bytes (a zero dataLen may return nil). clk is
 // the progressing actor's virtual clock; processing the handler does in
-// the real system should be charged to it.
-type HeaderHandler func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int) []byte
+// the real system should be charged to it. tag is the message's target
+// counter id as carried on the wire — for request/reply protocols it
+// doubles as the request tag, letting a receiver with several requests
+// in flight route the reply to the right slot (and recognize a late
+// duplicate from an AM retry, whose tag no longer matches any slot).
+type HeaderHandler func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int, tag CounterID) []byte
 
 // CompletionHandler runs at the target after the data has fully landed
 // in the buffer the header handler chose. It may itself send messages
-// (this is how the Memcached server issues its reply AM, §V-B).
-type CompletionHandler func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte)
+// (this is how the Memcached server issues its reply AM, §V-B). tag is
+// the same target-counter id the header handler saw.
+type CompletionHandler func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte, tag CounterID)
 
 // Handler couples the two stages for one message id. Completion may be
 // nil (the paper notes running it is optional, decided by handler

@@ -77,7 +77,7 @@ func newWorld(t *testing.T, cfg Config) *world {
 	w.srvCtx = srvCtx
 	pool := make(map[*Endpoint][]byte)
 	w.srvRT.RegisterHandler(midRequest, Handler{
-		Header: func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int, _ CounterID) []byte {
 			buf := pool[ep]
 			if len(buf) < dataLen {
 				buf = make([]byte, dataLen)
@@ -85,7 +85,7 @@ func newWorld(t *testing.T, cfg Config) *world {
 			}
 			return buf
 		},
-		Completion: func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte) {
+		Completion: func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte, _ CounterID) {
 			replyCtr := CounterID(binary.LittleEndian.Uint64(hdr))
 			if err := ep.Send(clk, midReply, hdr[8:], data, nil, replyCtr, nil); err != nil {
 				t.Errorf("server reply failed: %v", err)
@@ -207,10 +207,10 @@ type replyCapture struct {
 func (w *world) installClientReply() *replyCapture {
 	rc := &replyCapture{buf: make([]byte, 1<<20)}
 	w.cliRT.RegisterHandler(midReply, Handler{
-		Header: func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int, _ CounterID) []byte {
 			return rc.buf
 		},
-		Completion: func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte) {
+		Completion: func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte, _ CounterID) {
 			rc.hdr = append([]byte(nil), hdr...)
 			rc.data = append([]byte(nil), data...)
 			rc.runs++
@@ -397,10 +397,10 @@ func TestFaultIsolation(t *testing.T) {
 	srv2Ctx := srv2RT.NewContext()
 	srv2Clk := simnet.NewVClock(0)
 	srv2RT.RegisterHandler(midRequest, Handler{
-		Header: func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int) []byte {
+		Header: func(clk *simnet.VClock, ep *Endpoint, hdr []byte, dataLen int, _ CounterID) []byte {
 			return make([]byte, dataLen)
 		},
-		Completion: func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte) {
+		Completion: func(clk *simnet.VClock, ep *Endpoint, hdr, data []byte, _ CounterID) {
 			replyCtr := CounterID(binary.LittleEndian.Uint64(hdr))
 			_ = ep.Send(clk, midReply, hdr[8:], data, nil, replyCtr, nil)
 		},

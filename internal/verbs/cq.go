@@ -55,6 +55,27 @@ func (c *CQ) TryPollWith(clk *simnet.VClock) (WC, bool) {
 	return wc, true
 }
 
+// TryPollReady harvests a completion only if one is already visible at
+// clk's current time (wc.Time has passed), charging the coalesced
+// batched-drain cost instead of the full poll/interrupt cost. It is the
+// 2nd..Nth step of a batched CQ drain: the caller paid the full harvest
+// cost for the first completion and sweeps the rest of the backlog
+// cheaply. A completion that lands in the future is left in place for a
+// later full-cost harvest, so time never runs backwards and a lone
+// completion costs exactly what it always did.
+func (c *CQ) TryPollReady(clk *simnet.VClock) (WC, bool) {
+	wc, ok, _ := c.box.TryRecv()
+	if !ok {
+		return wc, false
+	}
+	if wc.Time > clk.Now() {
+		c.box.PutFront(wc)
+		return WC{}, false
+	}
+	clk.Advance(c.hca.cfg.CoalescedPollOverhead)
+	return wc, true
+}
+
 // Wait blocks until a completion is available, then synchronizes clk
 // with the completion time and charges the harvest cost.
 // ok=false means the CQ was destroyed.

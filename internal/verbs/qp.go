@@ -152,15 +152,54 @@ func (q *QP) Destroy() {
 // real verbs, transport errors surface as completion statuses, not as a
 // PostSend error — PostSend errors only for caller mistakes).
 func (q *QP) PostSend(clk *simnet.VClock, wr SendWR) error {
+	remote, err := q.postCharge(clk, 1)
+	if err != nil {
+		return err
+	}
+	return q.dispatchSend(clk, wr, remote)
+}
+
+// PostSendN posts a burst of work requests with a single doorbell ring:
+// the first WR pays the full PostOverhead, every further one only the
+// coalesced WQE-build cost. A burst of one charges exactly what PostSend
+// does. Like real verbs list posting, the burst stops at the first bad
+// WR and the error names it; the completions of already-accepted WRs
+// still arrive on the CQ.
+func (q *QP) PostSendN(clk *simnet.VClock, wrs []SendWR) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	remote, err := q.postCharge(clk, len(wrs))
+	if err != nil {
+		return err
+	}
+	for i := range wrs {
+		if err := q.dispatchSend(clk, wrs[i], remote); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// postCharge validates QP state and charges the doorbell cost for a
+// burst of n WRs (one full PostOverhead plus n-1 coalesced builds).
+func (q *QP) postCharge(clk *simnet.VClock, n int) (*QP, error) {
 	q.mu.Lock()
 	state := q.state
 	remote := q.remote
 	q.mu.Unlock()
 	if state != StateRTS {
-		return ErrBadState
+		return nil, ErrBadState
 	}
 	clk.Advance(q.hca.cfg.PostOverhead)
+	if n > 1 {
+		clk.Advance(simnet.Duration(n-1) * q.hca.cfg.CoalescedPostOverhead)
+	}
+	return remote, nil
+}
 
+// dispatchSend routes one already-charged WR into the transport.
+func (q *QP) dispatchSend(clk *simnet.VClock, wr SendWR, remote *QP) error {
 	switch wr.Op {
 	case OpSend:
 		return q.postSendMsg(clk, wr, remote)
