@@ -2,7 +2,7 @@
 # adds vet and the race detector (the mcclient ejection path is
 # exercised concurrently).
 
-.PHONY: tier1 tier2 test
+.PHONY: tier1 tier2 test memcheck memcheck-lossy mutations fuzz-smoke
 
 tier1:
 	go build ./...
@@ -13,3 +13,30 @@ tier2:
 	go test -race ./...
 
 test: tier1 tier2
+
+# Model-checking sweeps (see EXPERIMENTS.md "Model checking the cache").
+MEMCHECK_SEEDS ?= 50
+
+memcheck:
+	go run ./cmd/mccheck -transport both -seeds $(MEMCHECK_SEEDS)
+	go run ./cmd/mccheck -transport both -seeds $(MEMCHECK_SEEDS) -nobursts
+	go run ./cmd/mccheck -transport both -seeds $(MEMCHECK_SEEDS) -pressure
+
+memcheck-lossy:
+	go run ./cmd/mccheck -transport both -seeds $(MEMCHECK_SEEDS) -faults
+
+# Checker validation: every seeded store mutation must be caught.
+MUTATIONS = mut_append_nocas mut_get_skip_expiry mut_cas_ignore_id \
+            mut_delete_noop mut_add_clobbers mut_proto_drop_flags
+
+mutations:
+	@for m in $(MUTATIONS); do \
+		echo "== $$m"; \
+		go run -tags $$m ./cmd/mccheck -transport both -seeds 10 -expect-violation || exit 1; \
+	done
+
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzTextProtocol$$' -fuzztime $(FUZZTIME) ./internal/memcached
+	go test -run '^$$' -fuzz '^FuzzAMCodecs$$' -fuzztime $(FUZZTIME) ./internal/memcached

@@ -1,0 +1,109 @@
+// mccheck sweeps the memcheck model checker over seeds and transports:
+// randomized workloads run against the real server stack in virtual
+// time, the recorded history is checked against a reference model, and
+// any violation is shrunk to a minimal replayable script.
+//
+// Typical uses:
+//
+//	go run ./cmd/mccheck -transport both -seeds 50            # CI sweep
+//	go run ./cmd/mccheck -transport UCR-IB -seed 17 -faults   # replay one seed
+//	go run ./cmd/mccheck -transport IPoIB -script repro.txt   # replay a shrunk script
+//	go run -tags mut_delete_noop ./cmd/mccheck -seeds 10 -expect-violation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/memcached"
+	"repro/internal/memcheck"
+)
+
+func main() {
+	var (
+		transport = flag.String("transport", "both", "UCR-IB, IPoIB, or both")
+		seeds     = flag.Int("seeds", 0, "sweep seeds 1..N (mutually exclusive with -seed)")
+		seed      = flag.Uint64("seed", 1, "single seed to run")
+		faults    = flag.Bool("faults", false, "lossy fabric (1% drop) with client retries")
+		pressure  = flag.Bool("pressure", false, "small cache, large values: constant LRU eviction")
+		nobursts  = flag.Bool("nobursts", false, "blocking ops only, TTL mix enabled")
+		clients   = flag.Int("clients", 0, "client count (default 3)")
+		ops       = flag.Int("ops", 0, "ops per script (default 400)")
+		script    = flag.String("script", "", "replay a script file instead of generating from the seed")
+		expect    = flag.Bool("expect-violation", false, "invert exit status: fail unless a violation is found (mutation builds)")
+		verbose   = flag.Bool("v", false, "print a line per run")
+	)
+	flag.Parse()
+
+	var trs []cluster.Transport
+	switch *transport {
+	case "both":
+		trs = []cluster.Transport{cluster.UCRIB, cluster.IPoIB}
+	case string(cluster.UCRIB):
+		trs = []cluster.Transport{cluster.UCRIB}
+	case string(cluster.IPoIB):
+		trs = []cluster.Transport{cluster.IPoIB}
+	default:
+		fmt.Fprintf(os.Stderr, "mccheck: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+
+	if muts := memcached.ActiveMutations(); muts != nil {
+		fmt.Printf("mccheck: store mutations active: %v\n", muts)
+	}
+
+	seedList := []uint64{*seed}
+	if *seeds > 0 {
+		seedList = seedList[:0]
+		for s := uint64(1); s <= uint64(*seeds); s++ {
+			seedList = append(seedList, s)
+		}
+	}
+
+	runs := 0
+	for _, tr := range trs {
+		for _, s := range seedList {
+			cfg := memcheck.Config{
+				Transport: tr, Seed: s, Faults: *faults, Pressure: *pressure,
+				NoBursts: *nobursts, Clients: *clients, Ops: *ops,
+			}
+			var res *memcheck.Result
+			if *script != "" {
+				text, err := os.ReadFile(*script)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mccheck: %v\n", err)
+					os.Exit(2)
+				}
+				sc, err := memcheck.ParseScript(string(text))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mccheck: %s: %v\n", *script, err)
+					os.Exit(2)
+				}
+				res = memcheck.RunScript(sc, cfg)
+			} else {
+				res = memcheck.Run(cfg)
+			}
+			runs++
+			if res.Violation != nil {
+				fmt.Print(res.Report)
+				if *expect {
+					// One confirmed detection is enough for a mutation build.
+					fmt.Printf("mccheck: violation found as expected (transport=%s seed=%d)\n", tr, s)
+					os.Exit(0)
+				}
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("mccheck: PASS transport=%s seed=%d records=%d\n", tr, s, len(res.History))
+			}
+		}
+	}
+	if *expect {
+		fmt.Printf("mccheck: FAIL: expected a violation, %d runs all passed\n", runs)
+		os.Exit(1)
+	}
+	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v)\n",
+		runs, *transport, len(seedList), *faults, *pressure)
+}

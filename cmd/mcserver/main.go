@@ -61,11 +61,15 @@ func main() {
 }
 
 // serve drives one connection. The wall clock stands in for virtual
-// time so relative expiry behaves like stock memcached.
+// time so relative expiry behaves like stock memcached. The clock is
+// re-synced on every socket read, not once per loop: setting it only
+// before ServeOne stamps a command with the time the PREVIOUS reply was
+// sent, so a key could outlive its TTL across an idle gap on a blocked
+// read.
 func serve(conn net.Conn, store *memcached.Store, start time.Time, verbose bool) {
 	defer conn.Close()
-	pc := memcached.NewProtoConn(conn, store)
 	clk := simnet.NewVClock(0)
+	pc := memcached.NewProtoConn(wallSync{conn, clk, start}, store)
 	for {
 		clk.Set(simnet.Time(time.Since(start)))
 		quit, err := pc.ServeOne(clk)
@@ -79,4 +83,22 @@ func serve(conn net.Conn, store *memcached.Store, start time.Time, verbose bool)
 			return
 		}
 	}
+}
+
+// wallSync forwards the connection's bytes and moves the virtual clock
+// up to wall time whenever data arrives, so command execution (which
+// happens after the full request is read) sees the current time even
+// after the connection sat idle in a blocking read.
+type wallSync struct {
+	net.Conn
+	clk   *simnet.VClock
+	start time.Time
+}
+
+func (w wallSync) Read(p []byte) (int, error) {
+	n, err := w.Conn.Read(p)
+	if t := simnet.Time(time.Since(w.start)); t > w.clk.Now() {
+		w.clk.Set(t)
+	}
+	return n, err
 }

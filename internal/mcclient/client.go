@@ -25,7 +25,25 @@ var (
 	// ErrServerError is a server-side failure distinct from a miss or a
 	// caller mistake (e.g. SERVER_ERROR out of memory growing a value).
 	ErrServerError = errors.New("mcclient: server error")
+	// ErrBadKey rejects a key the text protocol cannot carry: empty,
+	// longer than 250 bytes, or containing whitespace/control bytes.
+	// Validated client-side (like libmemcached's VERIFY_KEY) because a
+	// bad key would desync the connection, not just fail one op.
+	ErrBadKey = errors.New("mcclient: invalid key")
 )
+
+// checkKey enforces the protocol's key rules.
+func checkKey(key string) error {
+	if len(key) == 0 || len(key) > 250 {
+		return ErrBadKey
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return ErrBadKey
+		}
+	}
+	return nil
+}
 
 // Distribution selects the key→server mapping.
 type Distribution int
@@ -101,6 +119,7 @@ type Client struct {
 	behaviors Behaviors
 	servers   []Transport
 	clk       *simnet.VClock
+	observer  func(ObservedOp) // see observer.go; nil when disarmed
 
 	// Failover state (see failover.go). A Client is single-actor for
 	// operations, but Ejected/LiveServers/ServerFor are read from other
@@ -143,11 +162,18 @@ func (c *Client) ServerFor(key string) int {
 
 // Set stores key=value with the given flags and expiry (seconds).
 func (c *Client) Set(key string, value []byte, flags uint32, exptime int64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
 	var res memcached.StoreResult
 	err := c.withTransport(key, func(t Transport) error {
 		var err error
 		res, err = t.Set(c.clk, key, flags, exptime, value)
 		return err
+	})
+	c.observe(ObservedOp{
+		Kind: memcached.RecSet, Key: key, Value: value, Flags: flags,
+		Exptime: exptime, Res: res, Err: err,
 	})
 	if err != nil {
 		return err
@@ -160,17 +186,27 @@ func (c *Client) Set(key string, value []byte, flags uint32, exptime int64) erro
 	case memcached.NotStored, memcached.NotFound:
 		return ErrNotStored
 	default:
-		return fmt.Errorf("mcclient: set failed: %s", res)
+		// TooLarge / OOM: server-side storage failure, not a caller
+		// mistake — classify under ErrServerError so callers can branch
+		// on the error kind.
+		return fmt.Errorf("%w: set failed: %s", ErrServerError, res)
 	}
 }
 
 // Get fetches the value for key.
 func (c *Client) Get(key string) (value []byte, flags uint32, cas uint64, err error) {
+	if err := checkKey(key); err != nil {
+		return nil, 0, 0, err
+	}
 	var ok bool
 	err = c.withTransport(key, func(t Transport) error {
 		var err error
 		value, flags, cas, ok, err = t.Get(c.clk, key)
 		return err
+	})
+	c.observe(ObservedOp{
+		Kind: memcached.RecGet, Key: key, Value: value, Flags: flags,
+		CAS: cas, Hit: ok, Err: err,
 	})
 	if err != nil {
 		return nil, 0, 0, err
@@ -188,6 +224,9 @@ func (c *Client) Get(key string) (value []byte, flags uint32, cas uint64, err er
 func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
 	groups := make(map[int][]string)
 	for _, key := range keys {
+		if err := checkKey(key); err != nil {
+			return nil, err
+		}
 		idx := c.ServerFor(key)
 		groups[idx] = append(groups[idx], key)
 	}
@@ -214,17 +253,29 @@ func (c *Client) GetMulti(keys []string) (map[string][]byte, error) {
 			out[k] = v
 		}
 	}
+	if c.observer != nil {
+		// One observation per requested key, hit or miss, so the
+		// cross-check sees mget misses too.
+		for _, key := range keys {
+			v, hit := out[key]
+			c.observe(ObservedOp{Kind: memcached.RecGet, Key: key, Value: v, Hit: hit})
+		}
+	}
 	return out, nil
 }
 
 // Delete removes key.
 func (c *Client) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
 	var ok bool
 	err := c.withTransport(key, func(t Transport) error {
 		var err error
 		ok, err = t.Delete(c.clk, key)
 		return err
 	})
+	c.observe(ObservedOp{Kind: memcached.RecDelete, Key: key, Hit: ok, Err: err})
 	if err != nil {
 		return err
 	}
@@ -245,6 +296,9 @@ func (c *Client) Decr(key string, delta uint64) (uint64, error) {
 }
 
 func (c *Client) incrDecr(key string, delta uint64, incr bool) (uint64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
 	var val uint64
 	var found, bad bool
 	err := c.withTransport(key, func(t Transport) error {
@@ -252,6 +306,11 @@ func (c *Client) incrDecr(key string, delta uint64, incr bool) (uint64, error) {
 		val, found, bad, err = t.IncrDecr(c.clk, key, delta, incr)
 		return err
 	})
+	kind := memcached.RecIncr
+	if !incr {
+		kind = memcached.RecDecr
+	}
+	c.observe(ObservedOp{Kind: kind, Key: key, Delta: delta, Num: val, Hit: found, Bad: bad, Err: err})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,146 @@
+package mcclient
+
+import (
+	"fmt"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+)
+
+// CondStorer is the optional transport extension carrying the
+// conditional storage commands (add, replace, append, prepend, cas).
+// Both built-in transports implement it: the sockets transport with the
+// matching text-protocol verbs, the UCR transport with the AMStore
+// active message. op is one of memcached.StoreOp*; casID is only
+// meaningful for StoreOpCas.
+type CondStorer interface {
+	StoreOp(clk *simnet.VClock, op uint8, key string, flags uint32, exptime int64, value []byte, casID uint64) (memcached.StoreResult, error)
+}
+
+var (
+	_ CondStorer = (*UCRTransport)(nil)
+	_ CondStorer = (*SockTransport)(nil)
+)
+
+// StoreOp implements CondStorer over one AMStore round trip.
+func (t *UCRTransport) StoreOp(clk *simnet.VClock, op uint8, key string, flags uint32, exptime int64, value []byte, casID uint64) (memcached.StoreResult, error) {
+	o := t.newOp()
+	hdr := memcached.EncodeStoreReq(memcached.StoreReq{
+		ReplyCtr: o.tag, Op: op, Flags: flags, Exptime: exptime, CAS: casID, Key: key,
+	})
+	o.send = func() error {
+		return t.ep.Send(clk, memcached.AMStore, hdr, value, nil, 0, nil)
+	}
+	if err := t.do(clk, o); err != nil {
+		return 0, err
+	}
+	defer t.finishOp(o)
+	return o.status.Result, nil
+}
+
+// storeOpVerbs maps memcached.StoreOp* codes to text-protocol verbs.
+var storeOpVerbs = map[uint8]string{
+	memcached.StoreOpAdd:     "add",
+	memcached.StoreOpReplace: "replace",
+	memcached.StoreOpAppend:  "append",
+	memcached.StoreOpPrepend: "prepend",
+	memcached.StoreOpCas:     "cas",
+}
+
+// StoreOp implements CondStorer with the matching text-protocol verb.
+func (t *SockTransport) StoreOp(clk *simnet.VClock, op uint8, key string, flags uint32, exptime int64, value []byte, casID uint64) (memcached.StoreResult, error) {
+	verb, ok := storeOpVerbs[op]
+	if !ok {
+		return 0, fmt.Errorf("mcclient: unknown store op %d", op)
+	}
+	t.conn.SetClock(clk)
+	var req string
+	if op == memcached.StoreOpCas {
+		req = fmt.Sprintf("cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), casID)
+	} else {
+		req = fmt.Sprintf("%s %s %d %d %d\r\n", verb, key, flags, exptime, len(value))
+	}
+	buf := make([]byte, 0, len(req)+len(value)+2)
+	buf = append(buf, req...)
+	buf = append(buf, value...)
+	buf = append(buf, '\r', '\n')
+	if _, err := t.conn.Write(buf); err != nil {
+		return 0, ErrServerDown
+	}
+	return t.readSetReply()
+}
+
+// storeOp routes a conditional store through the key's owner.
+func (c *Client) storeOp(op uint8, key string, value []byte, flags uint32, exptime int64, casID uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	var res memcached.StoreResult
+	err := c.withTransport(key, func(t Transport) error {
+		cs, ok := t.(CondStorer)
+		if !ok {
+			return fmt.Errorf("mcclient: transport %s: conditional stores unsupported", t.Name())
+		}
+		var err error
+		res, err = cs.StoreOp(c.clk, op, key, flags, exptime, value, casID)
+		return err
+	})
+	kind := memcached.RecAdd
+	switch op {
+	case memcached.StoreOpReplace:
+		kind = memcached.RecReplace
+	case memcached.StoreOpAppend:
+		kind = memcached.RecAppend
+	case memcached.StoreOpPrepend:
+		kind = memcached.RecPrepend
+	case memcached.StoreOpCas:
+		kind = memcached.RecCas
+	}
+	c.observe(ObservedOp{
+		Kind: kind, Key: key, Value: value, Flags: flags, Exptime: exptime,
+		CasReq: casID, Res: res, Err: err,
+	})
+	if err != nil {
+		return err
+	}
+	switch res {
+	case memcached.Stored:
+		return nil
+	case memcached.Exists:
+		return ErrCASExists
+	case memcached.NotFound:
+		return ErrCacheMiss
+	case memcached.NotStored:
+		return ErrNotStored
+	default:
+		// TooLarge / OOM: server-side failure, same classification as
+		// Client.Set's.
+		return fmt.Errorf("%w: %s failed: %s", ErrServerError, storeOpVerbs[op], res)
+	}
+}
+
+// Add stores key=value only if the key is absent.
+func (c *Client) Add(key string, value []byte, flags uint32, exptime int64) error {
+	return c.storeOp(memcached.StoreOpAdd, key, value, flags, exptime, 0)
+}
+
+// Replace stores key=value only if the key is present.
+func (c *Client) Replace(key string, value []byte, flags uint32, exptime int64) error {
+	return c.storeOp(memcached.StoreOpReplace, key, value, flags, exptime, 0)
+}
+
+// Append adds value after the existing value for key.
+func (c *Client) Append(key string, value []byte) error {
+	return c.storeOp(memcached.StoreOpAppend, key, value, 0, 0, 0)
+}
+
+// Prepend adds value before the existing value for key.
+func (c *Client) Prepend(key string, value []byte) error {
+	return c.storeOp(memcached.StoreOpPrepend, key, value, 0, 0, 0)
+}
+
+// Cas stores key=value only if the entry's CAS id (from a prior Get)
+// still matches.
+func (c *Client) Cas(key string, value []byte, flags uint32, exptime int64, casID uint64) error {
+	return c.storeOp(memcached.StoreOpCas, key, value, flags, exptime, casID)
+}

@@ -1,0 +1,42 @@
+package mcclient
+
+import "repro/internal/memcached"
+
+// ObservedOp is one client-visible operation outcome: what the caller
+// asked for and what the server answered, as seen from this client.
+// The memcheck harness collects these and cross-checks them against the
+// server's own recorded history — catching frontend/transport bugs
+// (dropped fields, misrouted replies) that an engine-level record can
+// never show.
+type ObservedOp struct {
+	Kind    memcached.OpKind
+	Key     string
+	Value   []byte // stores: value sent; get hit: value received
+	Flags   uint32
+	Exptime int64
+	CasReq  uint64
+	Delta   uint64
+
+	Res memcached.StoreResult // store-class ops
+	Hit bool                  // get/delete/incr/decr
+	Bad bool                  // incr/decr: non-numeric value
+	Num uint64                // incr/decr result
+	CAS uint64                // get hit: item CAS id
+
+	Err error // transport-level failure (timeouts, dead server)
+}
+
+// SetObserver arms (or, with nil, disarms) per-operation observation.
+// fn is called synchronously on the client's goroutine after each
+// operation completes; byte slices are copies, safe to retain.
+func (c *Client) SetObserver(fn func(ObservedOp)) { c.observer = fn }
+
+func (c *Client) observe(o ObservedOp) {
+	if c.observer == nil {
+		return
+	}
+	if len(o.Value) > 0 {
+		o.Value = append([]byte(nil), o.Value...)
+	}
+	c.observer(o)
+}

@@ -89,6 +89,10 @@ func (t *SockTransport) readSetReply() (memcached.StoreResult, error) {
 		return memcached.Exists, nil
 	case "NOT_FOUND":
 		return memcached.NotFound, nil
+	case memcached.TooLarge.String():
+		return memcached.TooLarge, nil
+	case memcached.OOM.String():
+		return memcached.OOM, nil
 	default:
 		return 0, fmt.Errorf("mcclient: set: %s", line)
 	}

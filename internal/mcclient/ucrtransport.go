@@ -405,6 +405,10 @@ func (t *UCRTransport) GetInto(clk *simnet.VClock, key string, buf []byte) ([]by
 	return v, op.get.Flags, op.get.CAS, true, nil
 }
 
+// maxMGetKeys bounds one mget AM's key batch, well under the header's
+// uint16 key-count field.
+const maxMGetKeys = 4096
+
 // mgetOp issues one multi-get AM and blocks for its reply.
 func (t *UCRTransport) mgetOp(clk *simnet.VClock, keys []string, lend []byte) (*amOp, error) {
 	op := t.newOp()
@@ -425,6 +429,22 @@ func (t *UCRTransport) mgetOp(clk *simnet.VClock, keys []string, lend []byte) (*
 func (t *UCRTransport) GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error) {
 	if len(keys) == 0 {
 		return map[string][]byte{}, nil
+	}
+	if len(keys) > maxMGetKeys {
+		// The mget header carries the key count as a uint16: batches past
+		// the cap would silently truncate on the wire (found by
+		// FuzzAMCodecs), so oversized batches go out as several AMs.
+		out := make(map[string][]byte, len(keys))
+		for start := 0; start < len(keys); start += maxMGetKeys {
+			part, err := t.GetMulti(clk, keys[start:min(start+maxMGetKeys, len(keys))])
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range part {
+				out[k] = v
+			}
+		}
+		return out, nil
 	}
 	op, err := t.mgetOp(clk, keys, nil)
 	if err != nil {

@@ -1,0 +1,71 @@
+package memcached
+
+import (
+	"encoding/binary"
+
+	"repro/internal/ucr"
+)
+
+// AMStore carries the conditional storage commands (add, replace,
+// append, prepend, cas) that the blocking AMSet fast path does not
+// cover. One AM id with an op byte instead of five ids: the commands
+// share a wire shape (header + value data block + StatusReply answer),
+// and unlike AMSet the value cannot land in slab memory up front —
+// whether a conditional store allocates at all is only known under the
+// shard lock at execute time, so there is no per-op header handler to
+// specialize.
+const AMStore uint8 = 0x16
+
+// Store op codes carried in StoreReq.Op.
+const (
+	StoreOpAdd uint8 = iota + 1
+	StoreOpReplace
+	StoreOpAppend
+	StoreOpPrepend
+	StoreOpCas
+)
+
+// StoreReq is the AM 1 header for a conditional store; the value
+// travels as the AM data block.
+type StoreReq struct {
+	ReplyCtr ucr.CounterID
+	Op       uint8
+	Flags    uint32
+	Exptime  int64
+	CAS      uint64 // StoreOpCas only
+	Key      string
+}
+
+// EncodeStoreReq packs the header.
+func EncodeStoreReq(r StoreReq) []byte {
+	b := make([]byte, 8+1+4+8+8+2+len(r.Key))
+	le := binary.LittleEndian
+	le.PutUint64(b, uint64(r.ReplyCtr))
+	b[8] = r.Op
+	le.PutUint32(b[9:], r.Flags)
+	le.PutUint64(b[13:], uint64(r.Exptime))
+	le.PutUint64(b[21:], r.CAS)
+	le.PutUint16(b[29:], uint16(len(r.Key)))
+	copy(b[31:], r.Key)
+	return b
+}
+
+// DecodeStoreReq unpacks the header.
+func DecodeStoreReq(b []byte) (StoreReq, error) {
+	if len(b) < 31 {
+		return StoreReq{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[29:]))
+	if len(b) < 31+kl {
+		return StoreReq{}, ErrShortAMHeader
+	}
+	return StoreReq{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Op:       b[8],
+		Flags:    le.Uint32(b[9:]),
+		Exptime:  int64(le.Uint64(b[13:])),
+		CAS:      le.Uint64(b[21:]),
+		Key:      string(b[31 : 31+kl]),
+	}, nil
+}

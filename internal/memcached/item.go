@@ -30,6 +30,10 @@ type Item struct {
 	expireAt simnet.Time // 0: never
 	casID    uint64
 	setAt    simnet.Time
+	// exptimeRaw is the protocol exptime the expiry was computed from;
+	// kept so deferred-commit paths (UCR set) can emit a complete
+	// OpRecord without re-plumbing the request through the pin.
+	exptimeRaw int64
 
 	refcount int32 // pins against eviction while a transfer is in flight
 	linked   bool

@@ -1,0 +1,8 @@
+//go:build mut_add_clobbers
+
+package memcached
+
+func init() {
+	mutAddClobbers = true
+	activeMutations = append(activeMutations, "mut_add_clobbers")
+}

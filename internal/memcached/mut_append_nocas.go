@@ -1,0 +1,8 @@
+//go:build mut_append_nocas
+
+package memcached
+
+func init() {
+	mutAppendNoCAS = true
+	activeMutations = append(activeMutations, "mut_append_nocas")
+}

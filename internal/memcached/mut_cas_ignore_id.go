@@ -1,0 +1,8 @@
+//go:build mut_cas_ignore_id
+
+package memcached
+
+func init() {
+	mutCasIgnoreID = true
+	activeMutations = append(activeMutations, "mut_cas_ignore_id")
+}

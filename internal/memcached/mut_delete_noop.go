@@ -1,0 +1,8 @@
+//go:build mut_delete_noop
+
+package memcached
+
+func init() {
+	mutDeleteNoop = true
+	activeMutations = append(activeMutations, "mut_delete_noop")
+}

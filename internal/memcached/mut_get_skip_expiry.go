@@ -1,0 +1,8 @@
+//go:build mut_get_skip_expiry
+
+package memcached
+
+func init() {
+	mutGetSkipExpiry = true
+	activeMutations = append(activeMutations, "mut_get_skip_expiry")
+}

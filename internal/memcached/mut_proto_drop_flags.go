@@ -1,0 +1,8 @@
+//go:build mut_proto_drop_flags
+
+package memcached
+
+func init() {
+	mutProtoDropFlags = true
+	activeMutations = append(activeMutations, "mut_proto_drop_flags")
+}

@@ -1,0 +1,34 @@
+package memcached
+
+// Checker-validation mutations: deliberately wrong engine/protocol
+// behaviour behind build tags, used to prove the memcheck model checker
+// actually detects bugs (mutation testing). Every switch defaults to
+// false and has no branch cost worth modeling; a tagged build (e.g.
+// `go test -tags mut_append_nocas`) flips exactly one of them via an
+// init() in the matching mut_*.go file. CI runs the checker once per
+// tag and requires a violation each time.
+var (
+	// mutAppendNoCAS: append/prepend reuse the old item's CAS id
+	// instead of drawing a fresh one (breaks CAS sequencing).
+	mutAppendNoCAS bool
+	// mutGetSkipExpiry: lookups skip the lazy expiry check, serving
+	// expired and flushed items as live.
+	mutGetSkipExpiry bool
+	// mutCasIgnoreID: cas stores without comparing the presented id
+	// (stale CAS succeeds).
+	mutCasIgnoreID bool
+	// mutDeleteNoop: delete reports DELETED but leaves the item linked.
+	mutDeleteNoop bool
+	// mutAddClobbers: add overwrites a live entry like set.
+	mutAddClobbers bool
+	// mutProtoDropFlags: the text-protocol parser zeroes the flags field
+	// of every storage command (a frontend bug the engine-level model
+	// cannot see — caught by the client/server cross-check instead).
+	mutProtoDropFlags bool
+
+	activeMutations []string
+)
+
+// ActiveMutations lists the mutation tags compiled into this binary
+// (empty in a normal build).
+func ActiveMutations() []string { return activeMutations }

@@ -140,6 +140,11 @@ func (pc *ProtoConn) cmdGet(fields []string, clk *simnet.VClock) error {
 	if len(fields) < 2 {
 		return pc.reply("ERROR\r\n")
 	}
+	for _, key := range fields[1:] {
+		if len(key) > 250 {
+			return pc.reply("CLIENT_ERROR bad command line format\r\n")
+		}
+	}
 	var sb []byte
 	cursor := clk.Now()
 	for _, key := range fields[1:] {
@@ -185,9 +190,21 @@ func (pc *ProtoConn) cmdStore(fields []string, clk *simnet.VClock) error {
 		// Protocol rule: the data block still follows; consume it to
 		// stay in sync, then report.
 		if err3 == nil && nbytes >= 0 {
-			pc.discard(nbytes + 2)
+			pc.discard(int64(nbytes) + 2)
 		}
 		return pc.reply("CLIENT_ERROR bad command line format\r\n")
+	}
+	if nbytes > pc.store.MaxItemSize() {
+		// Reject before allocating: a declared size in the gigabytes must
+		// not size a buffer (found by FuzzTextProtocol). The data block is
+		// drained to keep the stream in sync, like memcached's
+		// swallow-then-error path.
+		pc.discard(int64(nbytes) + 2)
+		pc.chargeLock(clk, key, 0)
+		if noreply {
+			return nil
+		}
+		return pc.reply(TooLarge.String() + "\r\n")
 	}
 	value := make([]byte, nbytes)
 	if _, err := io.ReadFull(pc.r, value); err != nil {
@@ -203,6 +220,9 @@ func (pc *ProtoConn) cmdStore(fields []string, clk *simnet.VClock) error {
 
 	var res StoreResult
 	flags := uint32(flags64)
+	if mutProtoDropFlags {
+		flags = 0
+	}
 	now := clk.Now()
 	switch op {
 	case "set":
@@ -228,9 +248,9 @@ func (pc *ProtoConn) cmdStore(fields []string, clk *simnet.VClock) error {
 	return pc.reply(res.String() + "\r\n")
 }
 
-func (pc *ProtoConn) discard(n int) {
+func (pc *ProtoConn) discard(n int64) {
 	if n > 0 {
-		io.CopyN(io.Discard, pc.r, int64(n))
+		io.CopyN(io.Discard, pc.r, n)
 	}
 }
 
@@ -280,13 +300,18 @@ func (pc *ProtoConn) cmdTouch(fields []string, clk *simnet.VClock) error {
 	if len(fields) < 3 {
 		return pc.reply("ERROR\r\n")
 	}
+	noreply := len(fields) == 4 && fields[3] == "noreply"
 	exptime, err := strconv.ParseInt(fields[2], 10, 64)
 	if err != nil {
 		return pc.reply("CLIENT_ERROR bad command line format\r\n")
 	}
 	now := clk.Now()
 	pc.chargeLock(clk, fields[1], 0)
-	if pc.store.Touch(fields[1], exptime, now) {
+	ok := pc.store.Touch(fields[1], exptime, now)
+	if noreply {
+		return nil
+	}
+	if ok {
 		return pc.reply("TOUCHED\r\n")
 	}
 	return pc.reply("NOT_FOUND\r\n")

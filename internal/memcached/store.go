@@ -112,6 +112,10 @@ type Store struct {
 	// IDs — which travel in "gets" responses — independent of the
 	// stripe count.
 	nextCAS atomic.Uint64
+
+	// rec, when armed, receives one OpRecord per state transition (see
+	// record.go). nil in normal operation.
+	rec atomic.Pointer[recorder]
 }
 
 // StoreConfig sizes a Store.
@@ -211,8 +215,11 @@ func (s *Store) lookupLocked(sh *shard, key string, now simnet.Time) *Item {
 	if it == nil {
 		return nil
 	}
-	if it.expired(now, sh.flushBefore) {
+	if it.expired(now, sh.flushBefore) && !mutGetSkipExpiry {
 		sh.stats.expired.Add(1)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{Kind: RecExpire, Key: it.key, Now: now, OldCAS: it.casID})
+		}
 		s.unlinkLocked(sh, it)
 		return nil
 	}
@@ -236,7 +243,7 @@ func (s *Store) unlinkLocked(sh *shard, it *Item) {
 // allocLocked grabs a chunk, evicting LRU victims as needed. Victims
 // come only from the calling shard's own chains — its lock is the only
 // one held, so items other shards own are untouchable here.
-func (s *Store) allocLocked(sh *shard, n int) (chunk, StoreResult) {
+func (s *Store) allocLocked(sh *shard, n int, now simnet.Time) (chunk, StoreResult) {
 	for {
 		c, err := s.arena.Alloc(n)
 		if err == nil {
@@ -257,25 +264,32 @@ func (s *Store) allocLocked(sh *shard, n int) (chunk, StoreResult) {
 			return chunk{}, OOM
 		}
 		sh.stats.evictions.Add(1)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{
+				Kind: RecEvict, Key: victim.key, Now: now,
+				OldCAS: victim.casID, OldValue: cloneBytes(victim.value),
+			})
+		}
 		s.unlinkLocked(sh, victim)
 	}
 }
 
 // newItemLocked allocates and fills an unlinked item.
 func (s *Store) newItemLocked(sh *shard, key string, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
-	c, res := s.allocLocked(sh, len(key)+valueLen+itemOverhead)
+	c, res := s.allocLocked(sh, len(key)+valueLen+itemOverhead, now)
 	if res != Stored {
 		return nil, res
 	}
 	copy(c.buf, key)
 	it := &Item{
-		key:      key,
-		value:    c.buf[len(key) : len(key)+valueLen],
-		chunk:    c,
-		flags:    flags,
-		expireAt: expiryTime(exptime, now),
-		casID:    s.nextCAS.Add(1),
-		setAt:    now,
+		key:        key,
+		value:      c.buf[len(key) : len(key)+valueLen],
+		chunk:      c,
+		flags:      flags,
+		expireAt:   expiryTime(exptime, now),
+		casID:      s.nextCAS.Add(1),
+		setAt:      now,
+		exptimeRaw: exptime,
 	}
 	return it, Stored
 }
@@ -302,6 +316,10 @@ func (s *Store) AllocateItem(key string, flags uint32, exptime int64, valueLen i
 	it, res := s.newItemLocked(sh, key, flags, exptime, valueLen, now)
 	if res == Stored {
 		it.refcount++ // pinned until commit/abort
+	} else {
+		// Failed allocations are recorded here (the commit never runs),
+		// so the history still shows one store attempt per request.
+		s.recordStore(RecSet, key, nil, flags, exptime, 0, nil, res, now)
 	}
 	return it, res
 }
@@ -314,6 +332,14 @@ func (s *Store) CommitItem(it *Item, now simnet.Time) {
 	it.refcount--
 	sh.stats.cmdSet.Add(1)
 	s.linkLocked(sh, it, now)
+	if rc := s.rec.Load(); rc != nil {
+		rc.emit(&OpRecord{
+			Kind: RecSet, Key: it.key, Now: now, Res: Stored,
+			Value: cloneBytes(it.value), Flags: it.flags,
+			Exptime: it.exptimeRaw, NewCAS: it.casID,
+			ExpireAt: it.expireAt, SetAt: it.setAt,
+		})
+	}
 }
 
 // AbortItem releases an allocated-but-uncommitted item.
@@ -335,10 +361,12 @@ func (s *Store) Set(key string, flags uint32, exptime int64, value []byte, now s
 	sh.stats.cmdSet.Add(1)
 	it, res := s.newItemLocked(sh, key, flags, exptime, len(value), now)
 	if res != Stored {
+		s.recordStore(RecSet, key, nil, flags, exptime, 0, nil, res, now)
 		return res
 	}
 	copy(it.value, value)
 	s.linkLocked(sh, it, now)
+	s.recordStore(RecSet, key, value, flags, exptime, 0, it, Stored, now)
 	return Stored
 }
 
@@ -348,10 +376,13 @@ func (s *Store) Add(key string, flags uint32, exptime int64, value []byte, now s
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.stats.cmdSet.Add(1)
-	if s.lookupLocked(sh, key, now) != nil {
+	if !mutAddClobbers && s.lookupLocked(sh, key, now) != nil {
+		s.recordStore(RecAdd, key, nil, flags, exptime, 0, nil, NotStored, now)
 		return NotStored
 	}
-	return s.setLocked(sh, key, flags, exptime, value, now)
+	it, res := s.setLocked(sh, key, flags, exptime, value, now)
+	s.recordStore(RecAdd, key, value, flags, exptime, 0, it, res, now)
+	return res
 }
 
 // Replace stores only if the key is present.
@@ -361,9 +392,12 @@ func (s *Store) Replace(key string, flags uint32, exptime int64, value []byte, n
 	defer sh.mu.Unlock()
 	sh.stats.cmdSet.Add(1)
 	if s.lookupLocked(sh, key, now) == nil {
+		s.recordStore(RecReplace, key, nil, flags, exptime, 0, nil, NotStored, now)
 		return NotStored
 	}
-	return s.setLocked(sh, key, flags, exptime, value, now)
+	it, res := s.setLocked(sh, key, flags, exptime, value, now)
+	s.recordStore(RecReplace, key, value, flags, exptime, 0, it, res, now)
+	return res
 }
 
 // Cas stores only if the entry's CAS id still matches.
@@ -375,25 +409,31 @@ func (s *Store) Cas(key string, flags uint32, exptime int64, value []byte, casID
 	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		sh.stats.casMisses.Add(1)
+		s.recordStore(RecCas, key, nil, flags, exptime, casID, nil, NotFound, now)
 		return NotFound
 	}
-	if it.casID != casID {
+	if it.casID != casID && !mutCasIgnoreID {
 		sh.stats.casBadval.Add(1)
+		s.recordStore(RecCas, key, nil, flags, exptime, casID, nil, Exists, now)
 		return Exists
 	}
 	sh.stats.casHits.Add(1)
-	return s.setLocked(sh, key, flags, exptime, value, now)
+	nit, res := s.setLocked(sh, key, flags, exptime, value, now)
+	s.recordStore(RecCas, key, value, flags, exptime, casID, nit, res, now)
+	return res
 }
 
-// setLocked is the shared unconditional-store tail.
-func (s *Store) setLocked(sh *shard, key string, flags uint32, exptime int64, value []byte, now simnet.Time) StoreResult {
+// setLocked is the shared unconditional-store tail. The stored item is
+// returned so callers can record the assigned CAS/expiry (nil on
+// failure).
+func (s *Store) setLocked(sh *shard, key string, flags uint32, exptime int64, value []byte, now simnet.Time) (*Item, StoreResult) {
 	it, res := s.newItemLocked(sh, key, flags, exptime, len(value), now)
 	if res != Stored {
-		return res
+		return nil, res
 	}
 	copy(it.value, value)
 	s.linkLocked(sh, it, now)
-	return Stored
+	return it, Stored
 }
 
 // releasePin drops a refcount taken inside the lock, freeing the chunk
@@ -413,17 +453,38 @@ func (s *Store) releasePin(it *Item) {
 // would read (or, after the free list recycles the chunk into the new
 // item, overwrite) freed slab memory.
 func (s *Store) concatLocked(sh *shard, key string, add []byte, prepend bool, now simnet.Time) StoreResult {
+	kind := RecAppend
+	if prepend {
+		kind = RecPrepend
+	}
 	old := s.lookupLocked(sh, key, now)
 	if old == nil {
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{Kind: kind, Key: key, Now: now, Res: NotStored, Arg: cloneBytes(add)})
+		}
 		return NotStored
 	}
 	old.refcount++
+	oldCAS := old.casID
+	var oldVal []byte
+	if s.rec.Load() != nil {
+		oldVal = cloneBytes(old.value)
+	}
 	it, res := s.newItemLocked(sh, key, old.flags, 0, len(old.value)+len(add), now)
 	if res != Stored {
 		s.releasePin(old)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{
+				Kind: kind, Key: key, Now: now, Res: res,
+				Arg: cloneBytes(add), OldValue: oldVal, OldCAS: oldCAS,
+			})
+		}
 		return res
 	}
 	it.expireAt = old.expireAt
+	if mutAppendNoCAS {
+		it.casID = oldCAS
+	}
 	if prepend {
 		copy(it.value, add)
 		copy(it.value[len(add):], old.value)
@@ -433,6 +494,14 @@ func (s *Store) concatLocked(sh *shard, key string, add []byte, prepend bool, no
 	}
 	s.releasePin(old)
 	s.linkLocked(sh, it, now)
+	if rc := s.rec.Load(); rc != nil {
+		rc.emit(&OpRecord{
+			Kind: kind, Key: key, Now: now, Res: Stored,
+			Arg: cloneBytes(add), OldValue: oldVal, OldCAS: oldCAS,
+			Value: cloneBytes(it.value), Flags: it.flags, NewCAS: it.casID,
+			ExpireAt: it.expireAt, SetAt: it.setAt,
+		})
+	}
 	return Stored
 }
 
@@ -463,10 +532,12 @@ func (s *Store) Get(key string, now simnet.Time) (value []byte, flags uint32, ca
 	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		sh.stats.getMisses.Add(1)
+		s.recordGet(key, nil, now)
 		return nil, 0, 0, false
 	}
 	sh.stats.getHits.Add(1)
 	sh.lru.touch(it)
+	s.recordGet(key, it, now)
 	out := make([]byte, len(it.value))
 	copy(out, it.value)
 	return out, it.flags, it.casID, true
@@ -483,10 +554,12 @@ func (s *Store) GetPinned(key string, now simnet.Time) (*Item, bool) {
 	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		sh.stats.getMisses.Add(1)
+		s.recordGet(key, nil, now)
 		return nil, false
 	}
 	sh.stats.getHits.Add(1)
 	sh.lru.touch(it)
+	s.recordGet(key, it, now)
 	it.refcount++
 	return it, true
 }
@@ -508,10 +581,18 @@ func (s *Store) Delete(key string, now simnet.Time) bool {
 	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		sh.stats.deleteMisses.Add(1)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{Kind: RecDelete, Key: key, Now: now})
+		}
 		return false
 	}
 	sh.stats.deleteHits.Add(1)
-	s.unlinkLocked(sh, it)
+	if rc := s.rec.Load(); rc != nil {
+		rc.emit(&OpRecord{Kind: RecDelete, Key: key, Now: now, Hit: true, OldCAS: it.casID})
+	}
+	if !mutDeleteNoop {
+		s.unlinkLocked(sh, it)
+	}
 	return true
 }
 
@@ -523,6 +604,10 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	kind := RecIncr
+	if !incr {
+		kind = RecDecr
+	}
 	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		if incr {
@@ -530,10 +615,16 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		} else {
 			sh.stats.decrMisses.Add(1)
 		}
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{Kind: kind, Key: key, Now: now, Delta: delta})
+		}
 		return 0, false, false, false
 	}
 	cur, err := strconv.ParseUint(string(it.value), 10, 64)
 	if err != nil {
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{Kind: kind, Key: key, Now: now, Delta: delta, Hit: true, Bad: true, OldCAS: it.casID})
+		}
 		return 0, true, true, false
 	}
 	if incr {
@@ -547,6 +638,7 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 			cur -= delta
 		}
 	}
+	oldCAS := it.casID
 	text := strconv.FormatUint(cur, 10)
 	if len(text) <= len(it.value) {
 		// Fits in place: memcached right-pads with spaces semantics are
@@ -554,6 +646,14 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		copy(it.value, text)
 		it.value = it.value[:len(text)]
 		it.casID = s.nextCAS.Add(1)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{
+				Kind: kind, Key: key, Now: now, Delta: delta, Hit: true,
+				NewNum: cur, Value: cloneBytes(it.value), Flags: it.flags,
+				NewCAS: it.casID, OldCAS: oldCAS,
+				ExpireAt: it.expireAt, SetAt: it.setAt,
+			})
+		}
 	} else {
 		// Pin the current item across the allocation: newItemLocked may
 		// evict it to make room, and the pin keeps its chunk (and the
@@ -563,11 +663,22 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		nit, res := s.newItemLocked(sh, key, flags, 0, len(text), now)
 		s.releasePin(it)
 		if res != Stored {
+			if rc := s.rec.Load(); rc != nil {
+				rc.emit(&OpRecord{Kind: kind, Key: key, Now: now, Delta: delta, Hit: true, OOM: true, OldCAS: oldCAS})
+			}
 			return 0, true, false, true
 		}
 		nit.expireAt = exp
 		copy(nit.value, text)
 		s.linkLocked(sh, nit, now)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{
+				Kind: kind, Key: key, Now: now, Delta: delta, Hit: true,
+				NewNum: cur, Value: cloneBytes(nit.value), Flags: nit.flags,
+				NewCAS: nit.casID, OldCAS: oldCAS,
+				ExpireAt: nit.expireAt, SetAt: nit.setAt,
+			})
+		}
 	}
 	return cur, true, false, false
 }
@@ -580,10 +691,19 @@ func (s *Store) Touch(key string, exptime int64, now simnet.Time) bool {
 	it := s.lookupLocked(sh, key, now)
 	if it == nil {
 		sh.stats.touchMisses.Add(1)
+		if rc := s.rec.Load(); rc != nil {
+			rc.emit(&OpRecord{Kind: RecTouch, Key: key, Now: now, Exptime: exptime})
+		}
 		return false
 	}
 	sh.stats.touchHits.Add(1)
 	it.expireAt = expiryTime(exptime, now)
+	if rc := s.rec.Load(); rc != nil {
+		rc.emit(&OpRecord{
+			Kind: RecTouch, Key: key, Now: now, Exptime: exptime, Hit: true,
+			ExpireAt: it.expireAt, OldCAS: it.casID,
+		})
+	}
 	return true
 }
 
@@ -591,9 +711,21 @@ func (s *Store) Touch(key string, exptime int64, now simnet.Time) bool {
 // memcached: items vanish on next access).
 func (s *Store) FlushAll(now simnet.Time) {
 	horizon := now + 1
+	// All shard locks at once (in index order; every other path takes
+	// exactly one, so this cannot deadlock). Setting the horizons shard
+	// by shard would let a concurrent op observe the new horizon and
+	// emit an expiry record sequenced BEFORE the flush record — the
+	// recorded history must show the flush as a single transition.
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+	}
+	for _, sh := range s.shards {
 		sh.flushBefore = horizon
+	}
+	if rc := s.rec.Load(); rc != nil {
+		rc.emit(&OpRecord{Kind: RecFlushAll, Now: now, Horizon: horizon})
+	}
+	for _, sh := range s.shards {
 		sh.mu.Unlock()
 	}
 }

@@ -77,6 +77,15 @@ func (s *Server) registerAMHandlers(rt *ucr.Runtime) {
 		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amMGetComplete,
 	})
+	rt.RegisterHandler(AMStore, ucr.Handler{
+		Header: func(_ *simnet.VClock, _ *ucr.Endpoint, _ []byte, dataLen int, _ ucr.CounterID) []byte {
+			// The value lands in a plain buffer, not slab memory: whether
+			// a conditional store allocates at all is decided under the
+			// shard lock in the completion handler.
+			return make([]byte, dataLen)
+		},
+		Completion: s.amStoreComplete,
+	})
 	rt.RegisterHandler(AMDelete, ucr.Handler{
 		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amDeleteComplete,
@@ -218,6 +227,44 @@ func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data 
 	}
 	clk.Advance(simnet.BytesDuration(len(values), s.ucrRT.Config().PackBytesPerSec))
 	_ = ep.Send(clk, AMMGetReply, EncodeMGetReply(reply), values, nil, req.ReplyCtr, nil)
+}
+
+// amStoreComplete serves the conditional storage commands. The value
+// copy into the slab happens under the lock (like the sockets path, and
+// unlike AMSet's RDMA-lands-first fast path), so it extends the hold.
+func (s *Server) amStoreComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
+	req, err := DecodeStoreReq(hdr)
+	if err != nil {
+		return
+	}
+	clk.Advance(s.cfg.OpCost)
+	s.OpsServed.Add(1)
+	s.chargeLock(clk, req.Key, len(data))
+	now := clk.Now()
+	var res StoreResult
+	switch req.Op {
+	case StoreOpAdd:
+		res = s.store.Add(req.Key, req.Flags, req.Exptime, data, now)
+	case StoreOpReplace:
+		res = s.store.Replace(req.Key, req.Flags, req.Exptime, data, now)
+	case StoreOpAppend:
+		res = s.store.Append(req.Key, data, now)
+	case StoreOpPrepend:
+		res = s.store.Prepend(req.Key, data, now)
+	case StoreOpCas:
+		res = s.store.Cas(req.Key, req.Flags, req.Exptime, data, req.CAS, now)
+	default:
+		res = NotStored
+	}
+	if req.ReplyCtr == 0 {
+		return
+	}
+	status := AMOK
+	if res != Stored {
+		status = AMError
+	}
+	reply := EncodeStatusReply(StatusReply{Status: status, Result: res})
+	_ = ep.Send(clk, AMSetReply, reply, nil, nil, req.ReplyCtr, nil)
 }
 
 // amDeleteComplete serves delete.

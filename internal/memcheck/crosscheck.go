@@ -1,0 +1,167 @@
+package memcheck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mcclient"
+	"repro/internal/memcached"
+)
+
+// Cross-checking compares what the CLIENTS observed with what the
+// ENGINE recorded, per key. The reference model alone cannot see a
+// frontend or transport bug — a parser that drops flags, a codec that
+// misroutes a reply — because the engine's own records are consistent
+// with whatever (wrong) request reached it. Observations close that
+// gap.
+//
+// On a clean fabric every client operation executes exactly once, so
+// the per-key multisets of canonical elements must be EQUAL. On a lossy
+// fabric a retried request may execute server-side more than once (the
+// reply was lost, not the request), so the check weakens to
+// containment: everything a client observed must appear in the server
+// history.
+
+// canonEl renders one operation as a canonical comparison element.
+// Fields that differ legitimately between the two sides (timestamps,
+// CAS ids on reads, item flags on reads — mget replies don't carry
+// them) are excluded; fields a frontend could corrupt (store flags,
+// exptime, values, results) are kept.
+func canonObserved(o mcclient.ObservedOp) (string, bool) {
+	oom := errors.Is(o.Err, mcclient.ErrServerError)
+	if o.Err != nil && !oom {
+		// Transport-level failure: the op may or may not have reached the
+		// server; nothing to compare.
+		return "", false
+	}
+	switch o.Kind {
+	case memcached.RecGet:
+		if o.Hit {
+			return fmt.Sprintf("get|hit|%q", o.Value), true
+		}
+		return "get|miss", true
+	case memcached.RecSet, memcached.RecAdd, memcached.RecReplace, memcached.RecCas:
+		el := fmt.Sprintf("%s|%s|f%d|e%d", o.Kind, o.Res, o.Flags, o.Exptime)
+		if o.Kind == memcached.RecCas {
+			el += fmt.Sprintf("|c%d", o.CasReq)
+		}
+		if o.Res == memcached.Stored {
+			el += fmt.Sprintf("|%q", o.Value)
+		}
+		return el, true
+	case memcached.RecAppend, memcached.RecPrepend:
+		return fmt.Sprintf("%s|%s|%q", o.Kind, o.Res, o.Value), true
+	case memcached.RecDelete:
+		return fmt.Sprintf("del|hit=%v", o.Hit), true
+	case memcached.RecIncr, memcached.RecDecr:
+		return fmt.Sprintf("%s|d%d|hit=%v|bad=%v|oom=%v|%d", o.Kind, o.Delta, o.Hit, o.Bad, oom, o.Num), true
+	default:
+		return "", false
+	}
+}
+
+func canonRecord(r *memcached.OpRecord) (string, bool) {
+	switch r.Kind {
+	case memcached.RecGet:
+		if r.Hit {
+			return fmt.Sprintf("get|hit|%q", r.Value), true
+		}
+		return "get|miss", true
+	case memcached.RecSet, memcached.RecAdd, memcached.RecReplace, memcached.RecCas:
+		el := fmt.Sprintf("%s|%s|f%d|e%d", r.Kind, r.Res, r.Flags, r.Exptime)
+		if r.Kind == memcached.RecCas {
+			el += fmt.Sprintf("|c%d", r.CasReq)
+		}
+		if r.Res == memcached.Stored {
+			el += fmt.Sprintf("|%q", r.Value)
+		}
+		return el, true
+	case memcached.RecAppend, memcached.RecPrepend:
+		// The client sends the argument; the engine records both the
+		// argument and the composed result. Compare the argument.
+		return fmt.Sprintf("%s|%s|%q", r.Kind, r.Res, r.Arg), true
+	case memcached.RecDelete:
+		return fmt.Sprintf("del|hit=%v", r.Hit), true
+	case memcached.RecIncr, memcached.RecDecr:
+		return fmt.Sprintf("%s|d%d|hit=%v|bad=%v|oom=%v|%d", r.Kind, r.Delta, r.Hit, r.Bad, r.OOM, r.NewNum), true
+	default:
+		// Internal transitions (evict/expire/flush) and touch have no
+		// client-side counterpart in the harness.
+		return "", false
+	}
+}
+
+// CrossCheck compares observations against the recorded history.
+func CrossCheck(recs []*memcached.OpRecord, obs []Observation, lossy bool) *Violation {
+	server := make(map[string][]string) // key → canonical elements
+	for _, r := range recs {
+		if el, ok := canonRecord(r); ok {
+			server[r.Key] = append(server[r.Key], el)
+		}
+	}
+	client := make(map[string][]string)
+	for _, o := range obs {
+		if el, ok := canonObserved(o.Op); ok {
+			client[o.Op.Key] = append(client[o.Op.Key], el)
+		}
+	}
+
+	if lossy {
+		// Containment: every client-visible outcome must be explained by
+		// at least one server-side execution.
+		for _, key := range sortKeys(client) {
+			have := make(map[string]int)
+			for _, el := range server[key] {
+				have[el]++
+			}
+			for _, el := range client[key] {
+				if have[el] == 0 {
+					return &Violation{Msg: fmt.Sprintf(
+						"crosscheck %q: client observed %s, server never recorded it", key, el)}
+				}
+			}
+		}
+		return nil
+	}
+
+	keys := make(map[string]struct{})
+	for k := range server {
+		keys[k] = struct{}{}
+	}
+	for k := range client {
+		keys[k] = struct{}{}
+	}
+	for _, key := range sortKeys(keys) {
+		s := append([]string(nil), server[key]...)
+		c := append([]string(nil), client[key]...)
+		sort.Strings(s)
+		sort.Strings(c)
+		if d := firstDiff(s, c); d != "" {
+			return &Violation{Msg: fmt.Sprintf("crosscheck %q: %s", key, d)}
+		}
+	}
+	return nil
+}
+
+func firstDiff(server, client []string) string {
+	i, j := 0, 0
+	for i < len(server) && j < len(client) {
+		switch {
+		case server[i] == client[j]:
+			i++
+			j++
+		case server[i] < client[j]:
+			return fmt.Sprintf("server recorded %s with no matching client observation", server[i])
+		default:
+			return fmt.Sprintf("client observed %s with no matching server record", client[j])
+		}
+	}
+	if i < len(server) {
+		return fmt.Sprintf("server recorded %s with no matching client observation", server[i])
+	}
+	if j < len(client) {
+		return fmt.Sprintf("client observed %s with no matching server record", client[j])
+	}
+	return ""
+}
