@@ -2,7 +2,7 @@
 # adds vet and the race detector (the mcclient ejection path is
 # exercised concurrently).
 
-.PHONY: tier1 tier2 test memcheck memcheck-lossy mutations fuzz-smoke
+.PHONY: tier1 tier2 test memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy mutations fuzz-smoke
 
 tier1:
 	go build ./...
@@ -25,9 +25,17 @@ memcheck:
 memcheck-lossy:
 	go run ./cmd/mccheck -transport both -seeds $(MEMCHECK_SEEDS) -faults
 
+# One-sided GET sweeps (UCR-IB only: the path rides RDMA reads).
+memcheck-onesided:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -onesided
+
+memcheck-onesided-lossy:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -onesided -faults
+
 # Checker validation: every seeded store mutation must be caught.
 MUTATIONS = mut_append_nocas mut_get_skip_expiry mut_cas_ignore_id \
-            mut_delete_noop mut_add_clobbers mut_proto_drop_flags
+            mut_delete_noop mut_add_clobbers mut_proto_drop_flags \
+            mut_onesided_stale
 
 mutations:
 	@for m in $(MUTATIONS); do \

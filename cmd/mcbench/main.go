@@ -30,6 +30,7 @@ type report struct {
 	Figures     []*bench.Figure       `json:"figures,omitempty"`
 	Scaling     []bench.ScalingPoint  `json:"scaling,omitempty"`
 	Pipeline    []bench.PipelinePoint `json:"pipeline,omitempty"`
+	OneSided    *bench.OneSidedReport `json:"onesided,omitempty"`
 }
 
 // runPipeline produces the window-depth sweep (single connection,
@@ -169,7 +170,8 @@ func main() {
 		stripes   = flag.Int("stripes", 0, "cache-engine lock stripes for figure runs (0 = deployment default)")
 		scaling   = flag.Bool("scaling", false, "append the multi-core workers x stripes sweep")
 		pipeline  = flag.Bool("pipeline", false, "run the pipelined window-depth sweep instead of the figures")
-		quick     = flag.Bool("quick", false, "with -pipeline: trimmed axes for a CI smoke run")
+		onesided  = flag.Bool("onesided", false, "run the one-sided GET vs AM GET sweep instead of the figures")
+		quick     = flag.Bool("quick", false, "with -pipeline/-onesided: trimmed axes for a CI smoke run")
 		jsonPath  = flag.String("json", "", "also write figures and scaling as a JSON report to this path")
 	)
 	flag.Parse()
@@ -178,6 +180,24 @@ func main() {
 		rep := report{OpsPerPoint: *ops}
 		rep.Pipeline = runPipeline(bench.RunConfig{OpsPerPoint: *ops}, *quick)
 		fmt.Print(bench.PipelineTable(rep.Pipeline))
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rep)
+		}
+		return
+	}
+
+	if *onesided {
+		sizes := bench.OneSidedSizes()
+		if *quick {
+			sizes = []int{64, 4096, 65536}
+		}
+		osRep, err := bench.OneSidedSweep(sizes, bench.RunConfig{OpsPerPoint: *ops})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: onesided: %v\n", err)
+			os.Exit(1)
+		}
+		rep := report{OpsPerPoint: *ops, OneSided: osRep}
+		fmt.Print(bench.OneSidedTable(osRep))
 		if *jsonPath != "" {
 			writeJSON(*jsonPath, rep)
 		}

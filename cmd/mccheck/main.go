@@ -29,6 +29,7 @@ func main() {
 		faults    = flag.Bool("faults", false, "lossy fabric (1% drop) with client retries")
 		pressure  = flag.Bool("pressure", false, "small cache, large values: constant LRU eviction")
 		nobursts  = flag.Bool("nobursts", false, "blocking ops only, TTL mix enabled")
+		onesided  = flag.Bool("onesided", false, "arm the one-sided GET path (UCR transport)")
 		clients   = flag.Int("clients", 0, "client count (default 3)")
 		ops       = flag.Int("ops", 0, "ops per script (default 400)")
 		script    = flag.String("script", "", "replay a script file instead of generating from the seed")
@@ -52,6 +53,14 @@ func main() {
 
 	if muts := memcached.ActiveMutations(); muts != nil {
 		fmt.Printf("mccheck: store mutations active: %v\n", muts)
+		for _, m := range muts {
+			if m == "mut_onesided_stale" && !*onesided {
+				// The mutation only fires on the one-sided path; arm it so
+				// the -expect-violation build can catch it.
+				*onesided = true
+				fmt.Println("mccheck: -onesided implied by mut_onesided_stale")
+			}
+		}
 	}
 
 	seedList := []uint64{*seed}
@@ -68,6 +77,7 @@ func main() {
 			cfg := memcheck.Config{
 				Transport: tr, Seed: s, Faults: *faults, Pressure: *pressure,
 				NoBursts: *nobursts, Clients: *clients, Ops: *ops,
+				OneSided: *onesided && tr == cluster.UCRIB,
 			}
 			var res *memcheck.Result
 			if *script != "" {

@@ -39,6 +39,12 @@ type Options struct {
 	// UseSRQ makes server UCR endpoints draw receives from one shared
 	// pool per worker (§VII scalability; ablation).
 	UseSRQ bool
+	// OneSidedGet arms the one-sided GET data path: every server
+	// publishes its remotely-readable directory and every reliable UCR
+	// client serves validated GET hits with RDMA reads, falling back to
+	// the AM path on miss/conflict. Strictly opt-in so the two-sided
+	// benchmarks keep their timing.
+	OneSidedGet bool
 	// Faults, when non-nil, installs a deterministic fault injector on
 	// every fabric (same config, one independent verdict stream per
 	// fabric and node pair). Nil leaves delivery lossless and the
@@ -200,6 +206,11 @@ func New(p *Profile, opts Options) *Deployment {
 		if err := srv.ServeUCR(rt, ucrServiceFor(i)); err != nil {
 			panic(fmt.Sprintf("cluster: serve ucr: %v", err))
 		}
+		if opts.OneSidedGet {
+			if err := srv.EnableOneSided(0, 0); err != nil {
+				panic(fmt.Sprintf("cluster: enable one-sided: %v", err))
+			}
+		}
 		d.ServerNodes = append(d.ServerNodes, node)
 		d.Servers = append(d.Servers, srv)
 		d.ServerHCAs = append(d.ServerHCAs, hca)
@@ -262,6 +273,11 @@ func (d *Deployment) newClient(t Transport, behaviors mcclient.Behaviors, unreli
 			}
 			if err != nil {
 				return nil, err
+			}
+			if d.Opts.OneSidedGet && !unreliable {
+				if ost, ok := tr.(*mcclient.UCRTransport); ok {
+					ost.EnableOneSided()
+				}
 			}
 			trs = append(trs, tr)
 		}

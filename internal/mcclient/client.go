@@ -198,15 +198,18 @@ func (c *Client) Get(key string) (value []byte, flags uint32, cas uint64, err er
 	if err := checkKey(key); err != nil {
 		return nil, 0, 0, err
 	}
-	var ok bool
+	var ok, oneSided bool
 	err = c.withTransport(key, func(t Transport) error {
 		var err error
 		value, flags, cas, ok, err = t.Get(c.clk, key)
+		if os, can := t.(interface{ TookOneSided() bool }); can {
+			oneSided = os.TookOneSided()
+		}
 		return err
 	})
 	c.observe(ObservedOp{
 		Kind: memcached.RecGet, Key: key, Value: value, Flags: flags,
-		CAS: cas, Hit: ok, Err: err,
+		CAS: cas, Hit: ok, Err: err, OneSided: oneSided,
 	})
 	if err != nil {
 		return nil, 0, 0, err

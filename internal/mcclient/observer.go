@@ -24,6 +24,11 @@ type ObservedOp struct {
 	CAS uint64                // get hit: item CAS id
 
 	Err error // transport-level failure (timeouts, dead server)
+
+	// OneSided marks a get served by the client's RDMA-read fast path:
+	// no server AM ran, so the hit never reached the server's record
+	// stream and checkers must validate it against item history instead.
+	OneSided bool
 }
 
 // SetObserver arms (or, with nil, disarms) per-operation observation.

@@ -36,6 +36,10 @@ type UCRTransport struct {
 	scratch  []byte   // landing space for replies whose tag matches no slot
 	freeBufs [][]byte // pooled landing buffers for get/mget values
 	freeOps  []*amOp
+
+	// One-sided GET fast path (see onesided.go).
+	os           osState
+	lastOneSided bool // most recent Get was served one-sided
 }
 
 // amOp is one in-flight request: its tag (= reply counter id), where
@@ -50,6 +54,7 @@ type amOp struct {
 	get    memcached.GetReply
 	mget   memcached.MGetReply
 	num    memcached.NumReply
+	osd    memcached.OSDescReply
 	send   func() error
 }
 
@@ -137,6 +142,18 @@ func RegisterClientHandlers(rt *ucr.Runtime) {
 			if op := t.slots[tag]; op != nil {
 				op.mget, _ = memcached.DecodeMGetReply(hdr)
 				op.data = data
+			}
+		},
+	})
+	rt.RegisterHandler(memcached.AMOSDescReply, ucr.Handler{
+		Header: nilHeader,
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, tag ucr.CounterID) {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return
+			}
+			if op := t.slots[tag]; op != nil {
+				op.osd, _ = memcached.DecodeOSDescReply(hdr)
 			}
 		},
 	})
@@ -370,8 +387,14 @@ func (t *UCRTransport) getOp(clk *simnet.VClock, key string, lend []byte) (*amOp
 	return op, nil
 }
 
-// Get implements Transport.
+// Get implements Transport. With the one-sided path enabled, a
+// validated RDMA read serves the hit without any server AM; everything
+// else falls through to the two-sided protocol.
 func (t *UCRTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
+	t.lastOneSided = false
+	if v, fl, cas, ok := t.oneSidedGet(clk, key, nil); ok {
+		return v, fl, cas, true, nil
+	}
 	op, err := t.getOp(clk, key, nil)
 	if err != nil {
 		return nil, 0, 0, false, err
@@ -390,6 +413,10 @@ func (t *UCRTransport) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint
 // returned slice aliases buf — no allocation and no copy on the hot
 // path. A value too large for buf is returned in a fresh allocation.
 func (t *UCRTransport) GetInto(clk *simnet.VClock, key string, buf []byte) ([]byte, uint32, uint64, bool, error) {
+	t.lastOneSided = false
+	if v, fl, cas, ok := t.oneSidedGet(clk, key, buf); ok {
+		return v, fl, cas, true, nil
+	}
 	op, err := t.getOp(clk, key, buf)
 	if err != nil {
 		return nil, 0, 0, false, err

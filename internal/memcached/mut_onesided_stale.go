@@ -1,0 +1,8 @@
+//go:build mut_onesided_stale
+
+package memcached
+
+func init() {
+	mutOneSidedStale = true
+	activeMutations = append(activeMutations, "mut_onesided_stale")
+}

@@ -25,6 +25,11 @@ var (
 	// of every storage command (a frontend bug the engine-level model
 	// cannot see — caught by the client/server cross-check instead).
 	mutProtoDropFlags bool
+	// mutOneSidedStale: the one-sided index keeps the old seqlock value
+	// when republishing a key, so clients validating an RDMA-read value
+	// against the directory accept stale or torn reads (the bug class
+	// the casid re-read exists to catch).
+	mutOneSidedStale bool
 
 	activeMutations []string
 )

@@ -22,10 +22,15 @@ const (
 // disabled or found nothing evictable.
 var ErrNoMemory = errors.New("memcached: out of memory storing object")
 
-// chunk names one allocation: a byte range within a slab page.
+// chunk names one allocation: a byte range within a slab page. page/off
+// locate it inside the arena's page list so the one-sided index can
+// compute its RDMA-visible address (the capped buf slice hides the page
+// offset from capacity arithmetic).
 type chunk struct {
 	class int
 	buf   []byte // full chunk capacity
+	page  int    // index into the arena's page list
+	off   int    // byte offset of buf within that page
 }
 
 func (c chunk) valid() bool { return c.buf != nil }
@@ -54,6 +59,7 @@ type SlabArena struct {
 
 	mu        sync.Mutex // guards free lists, pages, usedBytes
 	usedBytes int64
+	pages     [][]byte // every page ever grabbed, indexed by chunk.page
 }
 
 // NewSlabArena builds an arena with the given memory limit and the
@@ -142,10 +148,27 @@ func (a *SlabArena) growClassLocked(ci int) error {
 	cl := &a.classes[ci]
 	cl.pages++
 	page := make([]byte, slabPageSize)
+	pi := len(a.pages)
+	a.pages = append(a.pages, page)
 	for off := 0; off+cl.size <= slabPageSize; off += cl.size {
-		cl.free = append(cl.free, chunk{class: ci, buf: page[off : off+cl.size : off+cl.size]})
+		cl.free = append(cl.free, chunk{class: ci, buf: page[off : off+cl.size : off+cl.size], page: pi, off: off})
 	}
 	return nil
+}
+
+// NumPages reports how many pages the arena has grabbed.
+func (a *SlabArena) NumPages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pages)
+}
+
+// PageBytes exposes page i's full backing slice (the one-sided index
+// registers whole pages as RDMA windows).
+func (a *SlabArena) PageBytes(i int) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pages[i]
 }
 
 // Free returns a chunk to its class.

@@ -116,6 +116,11 @@ type Store struct {
 	// rec, when armed, receives one OpRecord per state transition (see
 	// record.go). nil in normal operation.
 	rec atomic.Pointer[recorder]
+
+	// pub, when armed, is the one-sided GET index (onesided.go): commit
+	// paths publish directory entries, unlink paths invalidate them, and
+	// chunk-byte writers take its memory guard. nil in normal operation.
+	pub atomic.Pointer[osIndex]
 }
 
 // StoreConfig sizes a Store.
@@ -229,6 +234,9 @@ func (s *Store) lookupLocked(sh *shard, key string, now simnet.Time) *Item {
 // unlinkLocked removes an item from table and LRU, freeing its chunk
 // unless a transfer still pins it (the chunk is then freed at Unpin).
 func (s *Store) unlinkLocked(sh *shard, it *Item) {
+	if x := s.pub.Load(); x != nil {
+		x.unpublish(it)
+	}
 	if it.linked {
 		sh.table.Delete(it.key)
 	}
@@ -280,7 +288,7 @@ func (s *Store) newItemLocked(sh *shard, key string, flags uint32, exptime int64
 	if res != Stored {
 		return nil, res
 	}
-	copy(c.buf, key)
+	s.memWr(func() { copy(c.buf, key) })
 	it := &Item{
 		key:        key,
 		value:      c.buf[len(key) : len(key)+valueLen],
@@ -304,6 +312,9 @@ func (s *Store) linkLocked(sh *shard, it *Item, now simnet.Time) {
 	sh.stats.bytes.Add(uint64(len(it.key) + len(it.value)))
 	sh.stats.currItems.Add(1)
 	sh.stats.totalItems.Add(1)
+	if x := s.pub.Load(); x != nil {
+		x.publish(it)
+	}
 }
 
 // AllocateItem reserves an unlinked item whose value buffer the caller
@@ -364,7 +375,7 @@ func (s *Store) Set(key string, flags uint32, exptime int64, value []byte, now s
 		s.recordStore(RecSet, key, nil, flags, exptime, 0, nil, res, now)
 		return res
 	}
-	copy(it.value, value)
+	s.memWr(func() { copy(it.value, value) })
 	s.linkLocked(sh, it, now)
 	s.recordStore(RecSet, key, value, flags, exptime, 0, it, Stored, now)
 	return Stored
@@ -431,7 +442,7 @@ func (s *Store) setLocked(sh *shard, key string, flags uint32, exptime int64, va
 	if res != Stored {
 		return nil, res
 	}
-	copy(it.value, value)
+	s.memWr(func() { copy(it.value, value) })
 	s.linkLocked(sh, it, now)
 	return it, Stored
 }
@@ -485,13 +496,15 @@ func (s *Store) concatLocked(sh *shard, key string, add []byte, prepend bool, no
 	if mutAppendNoCAS {
 		it.casID = oldCAS
 	}
-	if prepend {
-		copy(it.value, add)
-		copy(it.value[len(add):], old.value)
-	} else {
-		copy(it.value, old.value)
-		copy(it.value[len(old.value):], add)
-	}
+	s.memWr(func() {
+		if prepend {
+			copy(it.value, add)
+			copy(it.value[len(add):], old.value)
+		} else {
+			copy(it.value, old.value)
+			copy(it.value[len(old.value):], add)
+		}
+	})
 	s.releasePin(old)
 	s.linkLocked(sh, it, now)
 	if rc := s.rec.Load(); rc != nil {
@@ -642,10 +655,14 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 	text := strconv.FormatUint(cur, 10)
 	if len(text) <= len(it.value) {
 		// Fits in place: memcached right-pads with spaces semantics are
-		// emulated by shrinking the value slice to the new length.
-		copy(it.value, text)
-		it.value = it.value[:len(text)]
-		it.casID = s.nextCAS.Add(1)
+		// emulated by shrinking the value slice to the new length. The
+		// rewrite and the directory republish share one guard section so
+		// a one-sided reader can never pair new bytes with the old seq.
+		s.mutateInPlace(it, func() {
+			copy(it.value, text)
+			it.value = it.value[:len(text)]
+			it.casID = s.nextCAS.Add(1)
+		})
 		if rc := s.rec.Load(); rc != nil {
 			rc.emit(&OpRecord{
 				Kind: kind, Key: key, Now: now, Delta: delta, Hit: true,
@@ -669,7 +686,7 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 			return 0, true, false, true
 		}
 		nit.expireAt = exp
-		copy(nit.value, text)
+		s.memWr(func() { copy(nit.value, text) })
 		s.linkLocked(sh, nit, now)
 		if rc := s.rec.Load(); rc != nil {
 			rc.emit(&OpRecord{
@@ -698,6 +715,9 @@ func (s *Store) Touch(key string, exptime int64, now simnet.Time) bool {
 	}
 	sh.stats.touchHits.Add(1)
 	it.expireAt = expiryTime(exptime, now)
+	if x := s.pub.Load(); x != nil {
+		x.publish(it) // refresh the entry's expiry
+	}
 	if rc := s.rec.Load(); rc != nil {
 		rc.emit(&OpRecord{
 			Kind: RecTouch, Key: key, Now: now, Exptime: exptime, Hit: true,
@@ -724,6 +744,9 @@ func (s *Store) FlushAll(now simnet.Time) {
 	}
 	if rc := s.rec.Load(); rc != nil {
 		rc.emit(&OpRecord{Kind: RecFlushAll, Now: now, Horizon: horizon})
+	}
+	if x := s.pub.Load(); x != nil {
+		x.wipe() // every published entry predates the horizon
 	}
 	for _, sh := range s.shards {
 		sh.mu.Unlock()

@@ -90,6 +90,10 @@ func (s *Server) registerAMHandlers(rt *ucr.Runtime) {
 		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amDeleteComplete,
 	})
+	rt.RegisterHandler(AMOSDesc, ucr.Handler{
+		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
+		Completion: s.amOSDescComplete,
+	})
 	rt.RegisterHandler(AMIncr, ucr.Handler{
 		Header:     func(*simnet.VClock, *ucr.Endpoint, []byte, int, ucr.CounterID) []byte { return nil },
 		Completion: s.amNumComplete(true),
@@ -265,6 +269,20 @@ func (s *Server) amStoreComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data
 	}
 	reply := EncodeStatusReply(StatusReply{Status: status, Result: res})
 	_ = ep.Send(clk, AMSetReply, reply, nil, nil, req.ReplyCtr, nil)
+}
+
+// amOSDescComplete answers the one-sided descriptor query: whether the
+// index is armed and, if so, the directory's geometry and window.
+func (s *Server) amOSDescComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, _ ucr.CounterID) {
+	req, err := DecodeKeyReq(hdr)
+	if err != nil {
+		return
+	}
+	var rep OSDescReply
+	if x := s.store.OneSidedIndex(); x != nil {
+		rep = OSDescReply{Enabled: true, Buckets: x.Buckets(), Slots: x.Slots(), Dir: x.DirDesc()}
+	}
+	_ = ep.Send(clk, AMOSDescReply, EncodeOSDescReply(rep), nil, nil, req.ReplyCtr, nil)
 }
 
 // amDeleteComplete serves delete.

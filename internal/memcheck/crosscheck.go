@@ -35,6 +35,11 @@ func canonObserved(o mcclient.ObservedOp) (string, bool) {
 		// server; nothing to compare.
 		return "", false
 	}
+	if o.OneSided {
+		// A one-sided hit never ran on the server, so it has no record to
+		// pair with; checkOneSided validates it against item history.
+		return "", false
+	}
 	switch o.Kind {
 	case memcached.RecGet:
 		if o.Hit {
@@ -92,8 +97,76 @@ func canonRecord(r *memcached.OpRecord) (string, bool) {
 	}
 }
 
+// itemState renders one (value, cas, flags) item version for the
+// one-sided containment check.
+func itemState(value []byte, cas uint64, flags uint32) string {
+	return fmt.Sprintf("%q|c%d|f%d", value, cas, flags)
+}
+
+// recordStates extracts every item version the history put live, per
+// key: successful stores (set/add/replace/cas/append/prepend), incr and
+// decr results, and get hits (which re-attest the current version).
+func recordStates(recs []*memcached.OpRecord) map[string]map[string]bool {
+	states := make(map[string]map[string]bool)
+	add := func(key string, value []byte, cas uint64, flags uint32) {
+		m := states[key]
+		if m == nil {
+			m = make(map[string]bool)
+			states[key] = m
+		}
+		m[itemState(value, cas, flags)] = true
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case memcached.RecSet, memcached.RecAdd, memcached.RecReplace,
+			memcached.RecCas, memcached.RecAppend, memcached.RecPrepend:
+			if r.Res == memcached.Stored {
+				add(r.Key, r.Value, r.NewCAS, r.Flags)
+			}
+		case memcached.RecIncr, memcached.RecDecr:
+			if r.Hit && !r.Bad && !r.OOM {
+				add(r.Key, r.Value, r.NewCAS, r.Flags)
+			}
+		case memcached.RecGet:
+			if r.Hit {
+				add(r.Key, r.Value, r.OldCAS, r.Flags)
+			}
+		}
+	}
+	return states
+}
+
+// checkOneSided validates every one-sided GET hit by containment: the
+// (value, cas, flags) triple the client's RDMA read assembled must be an
+// item version the server history actually produced. Equality against a
+// specific record is impossible — the whole point of the path is that no
+// server code runs — and the seqlock's guarantee is exactly this: the
+// pairing was live at some instant. A stale-pairing bug (value from one
+// version, cas from another, as mut_onesided_stale plants) produces a
+// triple that never existed and fails here.
+func checkOneSided(recs []*memcached.OpRecord, obs []Observation) *Violation {
+	var states map[string]map[string]bool
+	for _, o := range obs {
+		if !o.Op.OneSided || !o.Op.Hit {
+			continue
+		}
+		if states == nil {
+			states = recordStates(recs)
+		}
+		el := itemState(o.Op.Value, o.Op.CAS, o.Op.Flags)
+		if !states[o.Op.Key][el] {
+			return &Violation{Msg: fmt.Sprintf(
+				"onesided %q: client read %s, an item version the server never produced", o.Op.Key, el)}
+		}
+	}
+	return nil
+}
+
 // CrossCheck compares observations against the recorded history.
 func CrossCheck(recs []*memcached.OpRecord, obs []Observation, lossy bool) *Violation {
+	if v := checkOneSided(recs, obs); v != nil {
+		return v
+	}
 	server := make(map[string][]string) // key → canonical elements
 	for _, r := range recs {
 		if el, ok := canonRecord(r); ok {

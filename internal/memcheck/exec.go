@@ -29,6 +29,11 @@ type Config struct {
 	// NoBursts generates a purely blocking workload with the TTL mix
 	// (see GenConfig.NoBursts).
 	NoBursts bool
+	// OneSided arms the one-sided GET path (UCR transport only): servers
+	// publish the RDMA-readable directory and clients serve validated GET
+	// hits without any server AM. Those hits leave no server record, so
+	// the cross-check validates them by item-version containment.
+	OneSided bool
 }
 
 // Observation is one client-side outcome, tagged with which client saw it.
@@ -64,6 +69,9 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 	}
 	if cfg.Faults {
 		opts.Faults = cluster.LossyFaults(1.0, cfg.Seed^0x5eed)
+	}
+	if cfg.OneSided {
+		opts.OneSidedGet = true
 	}
 	d := cluster.New(cluster.ClusterB(), opts)
 	defer d.Close()

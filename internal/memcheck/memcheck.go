@@ -157,8 +157,8 @@ func formatReport(res *Result) string {
 	cfg := res.Config
 	var b strings.Builder
 	b.WriteString("memcheck: VIOLATION\n")
-	fmt.Fprintf(&b, "  seed=%d transport=%s faults=%v pressure=%v nobursts=%v clients=%d ops=%d\n",
-		cfg.Seed, cfg.Transport, cfg.Faults, cfg.Pressure, cfg.NoBursts, res.Script.Clients, len(res.Script.Ops))
+	fmt.Fprintf(&b, "  seed=%d transport=%s faults=%v pressure=%v nobursts=%v onesided=%v clients=%d ops=%d\n",
+		cfg.Seed, cfg.Transport, cfg.Faults, cfg.Pressure, cfg.NoBursts, cfg.OneSided, res.Script.Clients, len(res.Script.Ops))
 	fmt.Fprintf(&b, "  violation: %s\n", res.Violation.Error())
 	replay := fmt.Sprintf("go run ./cmd/mccheck -transport %s -seed %d", cfg.Transport, cfg.Seed)
 	if cfg.Faults {
@@ -169,6 +169,9 @@ func formatReport(res *Result) string {
 	}
 	if cfg.NoBursts {
 		replay += " -nobursts"
+	}
+	if cfg.OneSided {
+		replay += " -onesided"
 	}
 	if cfg.Clients != 0 {
 		replay += fmt.Sprintf(" -clients %d", cfg.Clients)

@@ -53,6 +53,32 @@ func TestCleanSeeds(t *testing.T) {
 	}
 }
 
+// TestOneSidedSeeds sweeps the one-sided GET path, clean and lossy, and
+// demands the runs actually exercised it (a sweep where every get fell
+// back to the AM path would validate nothing).
+func TestOneSidedSeeds(t *testing.T) {
+	if memcached.ActiveMutations() != nil {
+		t.Skip("store mutations active")
+	}
+	for _, faults := range []bool{false, true} {
+		oneSided := 0
+		for seed := uint64(1); seed <= 4; seed++ {
+			res := Run(Config{Transport: cluster.UCRIB, Seed: seed, Ops: 150, Faults: faults, OneSided: true})
+			if res.Violation != nil {
+				t.Errorf("faults=%v seed %d:\n%s", faults, seed, res.Report)
+			}
+			for _, o := range res.Obs {
+				if o.Op.OneSided {
+					oneSided++
+				}
+			}
+		}
+		if oneSided == 0 {
+			t.Errorf("faults=%v: no observation took the one-sided path", faults)
+		}
+	}
+}
+
 func TestBlockingTTLSeeds(t *testing.T) {
 	if memcached.ActiveMutations() != nil {
 		t.Skip("store mutations active")
@@ -160,10 +186,19 @@ func TestMutationsCaught(t *testing.T) {
 	if muts == nil {
 		t.Skip("no store mutations active; run with -tags mut_append_nocas (etc.)")
 	}
+	// mut_onesided_stale only fires on the one-sided GET path, so arm it
+	// (on the UCR transport, the only one that has it).
+	oneSided := false
+	for _, m := range muts {
+		if m == "mut_onesided_stale" {
+			oneSided = true
+		}
+	}
 	for seed := uint64(1); seed <= 10; seed++ {
 		for _, tr := range transports {
 			for _, nb := range []bool{false, true} {
-				res := Run(Config{Transport: tr, Seed: seed, Ops: 200, NoBursts: nb})
+				res := Run(Config{Transport: tr, Seed: seed, Ops: 200, NoBursts: nb,
+					OneSided: oneSided && tr == cluster.UCRIB})
 				if res.Violation == nil {
 					continue
 				}

@@ -355,7 +355,17 @@ func (c *Context) handleEager(clk *simnet.VClock, ep *Endpoint, pkt packet) {
 			ep.markFailed()
 			return
 		}
-		copy(dst, pkt.data)
+		// The landing buffer may be remotely-readable registered memory
+		// (the Memcached one-sided index points into slab pages); honor
+		// the adapter's memory guard so the unpack never tears under a
+		// concurrent remote read.
+		if g := c.rt.hca.MemGuard(); g != nil {
+			g.Lock()
+			copy(dst, pkt.data)
+			g.Unlock()
+		} else {
+			copy(dst, pkt.data)
+		}
 		clk.Advance(simnet.BytesDuration(pkt.dataLen, c.rt.cfg.PackBytesPerSec))
 		data = dst[:pkt.dataLen]
 	}
@@ -440,9 +450,7 @@ func (c *Context) handleAck(pkt packet) {
 	if pkt.seq != 0 {
 		if st, ok := c.rndzOrigin[pkt.seq]; ok {
 			delete(c.rndzOrigin, pkt.seq)
-			if !st.cached {
-				c.rt.hca.DeregisterMR(st.mr)
-			}
+			c.rt.releaseRndzMR(st.mr, st.cached)
 			st.originCtr.bump()
 			st.complCtr.bump()
 			return

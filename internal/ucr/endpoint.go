@@ -235,9 +235,7 @@ func (ep *Endpoint) Send(clk *simnet.VClock, msgID uint8, hdr, data []byte, orig
 	}
 	if err := ep.sendPacket(clk, pkt, nil, len(hdr)); err != nil {
 		delete(ep.ctx.rndzOrigin, seq)
-		if !cached {
-			ep.ctx.rt.hca.DeregisterMR(mr)
-		}
+		ep.ctx.rt.releaseRndzMR(mr, cached)
 		return err
 	}
 	ep.ctx.amsOut++

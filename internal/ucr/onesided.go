@@ -31,6 +31,11 @@ type WindowDesc struct {
 // windowDescSize is the encoded size of a WindowDesc.
 const windowDescSize = 8 + 4 + 8
 
+// MaxWindowLen bounds a decoded window length. Descriptors arrive off
+// the wire; a 64-bit length must not truncate into a negative int or
+// admit a bound so large that offset+len arithmetic overflows.
+const MaxWindowLen = 1 << 40
+
 // Encode packs the descriptor.
 func (d WindowDesc) Encode() []byte {
 	b := make([]byte, windowDescSize)
@@ -41,16 +46,22 @@ func (d WindowDesc) Encode() []byte {
 	return b
 }
 
-// DecodeWindowDesc unpacks a descriptor.
+// DecodeWindowDesc unpacks a descriptor. It rejects (rather than
+// silently truncates) lengths that do not fit in an int or exceed
+// MaxWindowLen.
 func DecodeWindowDesc(b []byte) (WindowDesc, bool) {
 	if len(b) < windowDescSize {
 		return WindowDesc{}, false
 	}
 	le := binary.LittleEndian
+	n := le.Uint64(b[12:])
+	if n > MaxWindowLen {
+		return WindowDesc{}, false
+	}
 	return WindowDesc{
 		Addr: le.Uint64(b),
 		RKey: le.Uint32(b[8:]),
-		Len:  int(le.Uint64(b[12:])),
+		Len:  int(n),
 	}, true
 }
 
@@ -92,7 +103,7 @@ func (ep *Endpoint) oneSided(clk *simnet.VClock, op verbs.Opcode, local []byte, 
 		return ErrEndpointDown
 	}
 	if ep.rel != Reliable {
-		return ErrTooLarge // one-sided ops need an RC endpoint
+		return ErrNeedReliable
 	}
 	if offset < 0 || offset+len(local) > win.Len {
 		return ErrWindowBounds
@@ -141,7 +152,7 @@ func (ep *Endpoint) atomic(clk *simnet.VClock, wr verbs.AtomicWR, win WindowDesc
 		return 0, ErrEndpointDown
 	}
 	if ep.rel != Reliable {
-		return 0, ErrTooLarge
+		return 0, ErrNeedReliable
 	}
 	if offset < 0 || offset+8 > win.Len {
 		return 0, ErrWindowBounds
@@ -159,8 +170,25 @@ func (ep *Endpoint) atomic(clk *simnet.VClock, wr verbs.AtomicWR, win WindowDesc
 		ep.markFailed()
 		return 0, ErrEndpointDown
 	}
-	if err := ep.ctx.WaitCounter(clk, done, 1, 0); err != nil {
-		return 0, err
+	// Wait by hand rather than via WaitCounter: an error-status WC marks
+	// the endpoint failed without bumping done, and on any exit without a
+	// completion the pending entry must be removed, or a late completion
+	// would bump a dead counter and the map would grow without bound.
+	deadline := clk.Now() + simnet.Second
+	for done.Value() < 1 {
+		if ep.failed {
+			delete(ep.ctx.pendingOneSided, id)
+			return 0, ErrEndpointDown
+		}
+		ok, timedOut := ep.ctx.ProgressDeadline(clk, deadline, ep.ctx.rt.cfg.RealSilenceCap)
+		if timedOut {
+			delete(ep.ctx.pendingOneSided, id)
+			return 0, ErrTimeout
+		}
+		if !ok {
+			delete(ep.ctx.pendingOneSided, id)
+			return 0, ErrClosed
+		}
 	}
 	if ep.failed {
 		return 0, ErrEndpointDown

@@ -19,6 +19,21 @@ func TestWindowDescRoundtrip(t *testing.T) {
 	}
 }
 
+func TestWindowDescRejectsHugeLen(t *testing.T) {
+	// A 64-bit length off the wire must not truncate into an int.
+	b := WindowDesc{Addr: 0x1000, RKey: 7}.Encode()
+	for _, n := range []uint64{1 << 63, ^uint64(0), MaxWindowLen + 1} {
+		binary.LittleEndian.PutUint64(b[12:], n)
+		if _, ok := DecodeWindowDesc(b); ok {
+			t.Fatalf("length %#x decoded", n)
+		}
+	}
+	binary.LittleEndian.PutUint64(b[12:], MaxWindowLen)
+	if d, ok := DecodeWindowDesc(b); !ok || d.Len != MaxWindowLen {
+		t.Fatalf("boundary length rejected: %+v ok=%v", d, ok)
+	}
+}
+
 func TestOneSidedPutGet(t *testing.T) {
 	w := newWorld(t, Config{})
 	w.installClientReply()
@@ -88,8 +103,11 @@ func TestOneSidedRequiresReliable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer win.Close()
-	if err := ep.Put(w.cliClk, make([]byte, 8), win.Desc(), 0, nil); err == nil {
-		t.Fatal("one-sided op over UD should fail")
+	if err := ep.Put(w.cliClk, make([]byte, 8), win.Desc(), 0, nil); err != ErrNeedReliable {
+		t.Fatalf("UD Put err = %v, want ErrNeedReliable", err)
+	}
+	if err := ep.Get(w.cliClk, make([]byte, 8), win.Desc(), 0, nil); err != ErrNeedReliable {
+		t.Fatalf("UD Get err = %v, want ErrNeedReliable", err)
 	}
 }
 
@@ -269,8 +287,8 @@ func TestAtomicCompareSwapOverEndpoint(t *testing.T) {
 	}
 	// UD endpoints cannot issue atomics.
 	ud := w.dial(t, Unreliable)
-	if _, err := ud.FetchAdd(w.cliClk, desc, 0, 1); err == nil {
-		t.Fatal("UD atomic should fail")
+	if _, err := ud.FetchAdd(w.cliClk, desc, 0, 1); err != ErrNeedReliable {
+		t.Fatalf("UD atomic err = %v, want ErrNeedReliable", err)
 	}
 }
 

@@ -14,17 +14,25 @@ import (
 // torn down after every rendezvous. A bounded FIFO keeps the pinned
 // footprint in check.
 //
+// Entries are refcounted: every in-flight rendezvous send holds a
+// reference on its MR, so FIFO eviction of a busy entry only drops it
+// from the lookup table — deregistration is deferred until the last
+// in-flight operation releases it. Without this, evicting a hot entry
+// mid-transfer would invalidate the rkey under a peer's RDMA read.
+//
 // Like real registration caches, correctness relies on cached buffers
 // not being freed and reallocated elsewhere while cached (production
 // implementations hook the allocator for invalidation; here the cache
 // key is the buffer's first-element address plus its length).
 type regCache struct {
 	mu      sync.Mutex
-	entries map[regKey]*verbs.MR
+	entries map[regKey]*regEntry
+	byMR    map[*verbs.MR]*regEntry
 	order   []regKey
 	cap     int
 
-	hits, misses uint64
+	hits, misses   uint64
+	deferredDeregs uint64
 }
 
 type regKey struct {
@@ -32,8 +40,18 @@ type regKey struct {
 	len int
 }
 
+type regEntry struct {
+	mr      *verbs.MR
+	refs    int  // in-flight operations using this MR
+	evicted bool // dropped from the FIFO; deregister once refs hit 0
+}
+
 func newRegCache(capEntries int) *regCache {
-	return &regCache{entries: make(map[regKey]*verbs.MR), cap: capEntries}
+	return &regCache{
+		entries: make(map[regKey]*regEntry),
+		byMR:    make(map[*verbs.MR]*regEntry),
+		cap:     capEntries,
+	}
 }
 
 func keyOf(buf []byte) regKey {
@@ -42,8 +60,9 @@ func keyOf(buf []byte) regKey {
 
 // registerCached resolves an MR for buf: from the cache (free) or by
 // registering (cost charged to clk) and caching, evicting FIFO-oldest
-// entries beyond capacity. cached=true means the ack path must not
-// deregister the MR.
+// entries beyond capacity. cached=true means the caller must release
+// the reference with releaseCached when its operation completes,
+// instead of deregistering the MR itself.
 func (rt *Runtime) registerCached(buf []byte, clk *simnet.VClock) (mr *verbs.MR, cached bool, err error) {
 	if rt.cfg.DisableRegCache || len(buf) == 0 {
 		mr, err = rt.hca.RegisterMR(rt.pd, buf, clk)
@@ -52,10 +71,11 @@ func (rt *Runtime) registerCached(buf []byte, clk *simnet.VClock) (mr *verbs.MR,
 	rc := rt.regs
 	k := keyOf(buf)
 	rc.mu.Lock()
-	if mr, ok := rc.entries[k]; ok {
+	if e, ok := rc.entries[k]; ok {
 		rc.hits++
+		e.refs++
 		rc.mu.Unlock()
-		return mr, true, nil
+		return e.mr, true, nil
 	}
 	rc.misses++
 	rc.mu.Unlock()
@@ -65,22 +85,67 @@ func (rt *Runtime) registerCached(buf []byte, clk *simnet.VClock) (mr *verbs.MR,
 		return nil, false, err
 	}
 	rc.mu.Lock()
-	rc.entries[k] = mr
+	e := &regEntry{mr: mr, refs: 1}
+	rc.entries[k] = e
+	rc.byMR[mr] = e
 	rc.order = append(rc.order, k)
 	var evicted []*verbs.MR
 	for len(rc.order) > rc.cap {
 		old := rc.order[0]
 		rc.order = rc.order[1:]
-		if victim, ok := rc.entries[old]; ok {
-			delete(rc.entries, old)
-			evicted = append(evicted, victim)
+		victim, ok := rc.entries[old]
+		if !ok {
+			continue
+		}
+		delete(rc.entries, old)
+		victim.evicted = true
+		if victim.refs == 0 {
+			delete(rc.byMR, victim.mr)
+			evicted = append(evicted, victim.mr)
+		} else {
+			rc.deferredDeregs++
 		}
 	}
 	rc.mu.Unlock()
-	for _, victim := range evicted {
-		rt.hca.DeregisterMR(victim)
+	for _, v := range evicted {
+		rt.hca.DeregisterMR(v)
 	}
 	return mr, true, nil
+}
+
+// releaseCached drops one in-flight reference on a cache-owned MR. If
+// the entry was FIFO-evicted while busy, the last release performs the
+// deferred deregistration.
+func (rt *Runtime) releaseCached(mr *verbs.MR) {
+	rc := rt.regs
+	rc.mu.Lock()
+	e := rc.byMR[mr]
+	if e == nil {
+		rc.mu.Unlock()
+		return
+	}
+	if e.refs > 0 {
+		e.refs--
+	}
+	dereg := e.evicted && e.refs == 0
+	if dereg {
+		delete(rc.byMR, mr)
+	}
+	rc.mu.Unlock()
+	if dereg {
+		rt.hca.DeregisterMR(mr)
+	}
+}
+
+// releaseRndzMR retires the MR behind one rendezvous send: cache-owned
+// registrations drop their reference, one-shot registrations are
+// deregistered outright.
+func (rt *Runtime) releaseRndzMR(mr *verbs.MR, cached bool) {
+	if cached {
+		rt.releaseCached(mr)
+		return
+	}
+	rt.hca.DeregisterMR(mr)
 }
 
 // RegCacheStats reports cache effectiveness.

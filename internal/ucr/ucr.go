@@ -39,6 +39,11 @@ var (
 	ErrTimeout      = errors.New("ucr: wait timed out")
 	ErrEndpointDown = errors.New("ucr: endpoint down")
 	ErrTooLarge     = errors.New("ucr: message too large for endpoint type")
+	// ErrNeedReliable rejects one-sided and atomic operations on a UD
+	// endpoint: RDMA read/write/atomics exist only on the RC transport.
+	// Distinct from ErrTooLarge so callers can tell "switch to an RC
+	// endpoint" from "shrink the message".
+	ErrNeedReliable = errors.New("ucr: one-sided operation requires a reliable endpoint")
 	ErrNoHandler    = errors.New("ucr: no handler registered for message id")
 	ErrBadHandler   = errors.New("ucr: handler returned undersized buffer")
 	ErrClosed       = errors.New("ucr: runtime closed")

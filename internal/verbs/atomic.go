@@ -110,6 +110,10 @@ func (q *QP) PostAtomic(clk *simnet.VClock, wr AtomicWR) error {
 func (h *HCA) atomicApply(cell []byte, wr AtomicWR) uint64 {
 	h.atomicMu.Lock()
 	defer h.atomicMu.Unlock()
+	if g := h.MemGuard(); g != nil {
+		g.Lock()
+		defer g.Unlock()
+	}
 	le := binary.LittleEndian
 	prior := le.Uint64(cell)
 	switch wr.Op {

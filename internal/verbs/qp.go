@@ -417,7 +417,7 @@ func (q *QP) postRDMARead(clk *simnet.VClock, wr SendWR, remote *QP) error {
 		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: st, QPN: q.qpn, Time: respDepart})
 		return nil
 	}
-	copy(wr.Local, data)
+	guardedCopy(wr.Local, data, q.hca.MemGuard(), dst.hca.MemGuard())
 	done := q.hca.recvEngine.Acquire(respArrive, cfg.RecvProc) + cfg.RecvProc
 	q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMARead, Status: StatusSuccess, ByteLen: n, QPN: q.qpn, Time: done})
 	return nil
@@ -452,7 +452,7 @@ func (q *QP) postRDMAWrite(clk *simnet.VClock, wr SendWR, remote *QP) error {
 		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusRemoteError, QPN: q.qpn, Time: arrive})
 		return nil
 	}
-	copy(room, wr.Local)
+	guardedCopy(room, wr.Local, dst.hca.MemGuard(), q.hca.MemGuard())
 	dst.hca.recvEngine.Acquire(arrive, cfg.RDMAProc)
 	q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusSuccess, ByteLen: n, QPN: q.qpn, Time: depart})
 	return nil
