@@ -2,7 +2,8 @@
 # adds vet and the race detector (the mcclient ejection path is
 # exercised concurrently).
 
-.PHONY: tier1 tier2 test memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy mutations fuzz-smoke
+.PHONY: tier1 tier2 test memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy \
+        memcheck-srq memcheck-srq-lossy memcheck-ud memcheck-ud-lossy mutations fuzz-smoke
 
 tier1:
 	go build ./...
@@ -32,10 +33,25 @@ memcheck-onesided:
 memcheck-onesided-lossy:
 	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -onesided -faults
 
+# Connection-scalability sweeps (UCR-IB only): shared-SRQ serving and
+# the hybrid UD small-get mode. Each sweep fails if it never actually
+# drove the armed datapath (vacuity guard — see cmd/mccheck).
+memcheck-srq:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -srq
+
+memcheck-srq-lossy:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -srq -faults
+
+memcheck-ud:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -ud
+
+memcheck-ud-lossy:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -ud -faults
+
 # Checker validation: every seeded store mutation must be caught.
 MUTATIONS = mut_append_nocas mut_get_skip_expiry mut_cas_ignore_id \
             mut_delete_noop mut_add_clobbers mut_proto_drop_flags \
-            mut_onesided_stale
+            mut_onesided_stale mut_srq_misroute mut_ud_dup_ack
 
 mutations:
 	@for m in $(MUTATIONS); do \

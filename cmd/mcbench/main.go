@@ -29,8 +29,9 @@ type report struct {
 	Stripes     int                   `json:"stripes,omitempty"`
 	Figures     []*bench.Figure       `json:"figures,omitempty"`
 	Scaling     []bench.ScalingPoint  `json:"scaling,omitempty"`
-	Pipeline    []bench.PipelinePoint `json:"pipeline,omitempty"`
-	OneSided    *bench.OneSidedReport `json:"onesided,omitempty"`
+	Pipeline    []bench.PipelinePoint  `json:"pipeline,omitempty"`
+	OneSided    *bench.OneSidedReport  `json:"onesided,omitempty"`
+	ConnScale   *bench.ConnScaleReport `json:"connscale,omitempty"`
 }
 
 // runPipeline produces the window-depth sweep (single connection,
@@ -171,7 +172,8 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "append the multi-core workers x stripes sweep")
 		pipeline  = flag.Bool("pipeline", false, "run the pipelined window-depth sweep instead of the figures")
 		onesided  = flag.Bool("onesided", false, "run the one-sided GET vs AM GET sweep instead of the figures")
-		quick     = flag.Bool("quick", false, "with -pipeline/-onesided: trimmed axes for a CI smoke run")
+		connscale = flag.Bool("connscale", false, "run the connection-scalability sweep (rc/srq/ud/mux) instead of the figures")
+		quick     = flag.Bool("quick", false, "with -pipeline/-onesided/-connscale: trimmed axes for a CI smoke run")
 		jsonPath  = flag.String("json", "", "also write figures and scaling as a JSON report to this path")
 	)
 	flag.Parse()
@@ -198,6 +200,24 @@ func main() {
 		}
 		rep := report{OpsPerPoint: *ops, OneSided: osRep}
 		fmt.Print(bench.OneSidedTable(osRep))
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rep)
+		}
+		return
+	}
+
+	if *connscale {
+		tpsClients := 100
+		if *quick {
+			tpsClients = 24
+		}
+		csRep, err := bench.ConnScaleSweep(clusterProfile("B"), tpsClients, bench.RunConfig{OpsPerPoint: *ops})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: connscale: %v\n", err)
+			os.Exit(1)
+		}
+		rep := report{OpsPerPoint: *ops, ConnScale: csRep}
+		fmt.Print(bench.ConnScaleTable(csRep))
 		if *jsonPath != "" {
 			writeJSON(*jsonPath, rep)
 		}

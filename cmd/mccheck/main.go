@@ -30,6 +30,8 @@ func main() {
 		pressure  = flag.Bool("pressure", false, "small cache, large values: constant LRU eviction")
 		nobursts  = flag.Bool("nobursts", false, "blocking ops only, TTL mix enabled")
 		onesided  = flag.Bool("onesided", false, "arm the one-sided GET path (UCR transport)")
+		srq       = flag.Bool("srq", false, "serve from shared receive queues (UCR transport)")
+		ud        = flag.Bool("ud", false, "arm the hybrid UD small-get mode (UCR transport)")
 		clients   = flag.Int("clients", 0, "client count (default 3)")
 		ops       = flag.Int("ops", 0, "ops per script (default 400)")
 		script    = flag.String("script", "", "replay a script file instead of generating from the seed")
@@ -60,6 +62,23 @@ func main() {
 				*onesided = true
 				fmt.Println("mccheck: -onesided implied by mut_onesided_stale")
 			}
+			if m == "mut_srq_misroute" && !*srq {
+				*srq = true
+				fmt.Println("mccheck: -srq implied by mut_srq_misroute")
+			}
+			if m == "mut_ud_dup_ack" {
+				// The dup-accept only fires when late duplicate replies
+				// exist, which takes UD traffic plus timeouts from a lossy
+				// fabric.
+				if !*ud {
+					*ud = true
+					fmt.Println("mccheck: -ud implied by mut_ud_dup_ack")
+				}
+				if !*faults {
+					*faults = true
+					fmt.Println("mccheck: -faults implied by mut_ud_dup_ack")
+				}
+			}
 		}
 	}
 
@@ -72,12 +91,15 @@ func main() {
 	}
 
 	runs := 0
+	var srqDemux, udGets, udRetx uint64
 	for _, tr := range trs {
 		for _, s := range seedList {
 			cfg := memcheck.Config{
 				Transport: tr, Seed: s, Faults: *faults, Pressure: *pressure,
 				NoBursts: *nobursts, Clients: *clients, Ops: *ops,
 				OneSided: *onesided && tr == cluster.UCRIB,
+				SRQ:      *srq && tr == cluster.UCRIB,
+				UD:       *ud && tr == cluster.UCRIB,
 			}
 			var res *memcheck.Result
 			if *script != "" {
@@ -96,6 +118,9 @@ func main() {
 				res = memcheck.Run(cfg)
 			}
 			runs++
+			srqDemux += res.SRQDemux
+			udGets += res.UDGets
+			udRetx += res.UDRetransmits
 			if res.Violation != nil {
 				fmt.Print(res.Report)
 				if *expect {
@@ -114,6 +139,20 @@ func main() {
 		fmt.Printf("mccheck: FAIL: expected a violation, %d runs all passed\n", runs)
 		os.Exit(1)
 	}
-	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v)\n",
-		runs, *transport, len(seedList), *faults, *pressure)
+	// Vacuity guards: a sweep that armed a datapath but never drove it
+	// validated nothing — fail loudly rather than report a hollow PASS.
+	if *srq && srqDemux == 0 {
+		fmt.Println("mccheck: FAIL: -srq armed but no SRQ demux decisions recorded (vacuous sweep)")
+		os.Exit(1)
+	}
+	if *ud && udGets == 0 {
+		fmt.Println("mccheck: FAIL: -ud armed but no requests rode the UD endpoint (vacuous sweep)")
+		os.Exit(1)
+	}
+	if *ud && *faults && udRetx == 0 {
+		fmt.Println("mccheck: FAIL: -ud -faults armed but no UD retransmissions happened (vacuous sweep)")
+		os.Exit(1)
+	}
+	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v, srq=%v, ud=%v; srqDemux=%d udGets=%d udRetx=%d)\n",
+		runs, *transport, len(seedList), *faults, *pressure, *srq, *ud, srqDemux, udGets, udRetx)
 }

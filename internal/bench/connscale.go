@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/mcclient"
+	"repro/internal/simnet"
+)
+
+// This file is the §VII connection-scalability study: how much server
+// receive-buffer memory one more client costs, per datapath mode, and
+// what that implies at client counts far beyond what the testbed (or
+// this simulator) can host as live endpoints. Dedicated RC resources
+// are the scaling limit the paper names; the SRQ, UD, and concentrator
+// modes each attack a different term of it.
+
+// connScaleModes are the datapaths compared, in report order.
+//
+//	rc  — baseline: one RC QP per client, per-endpoint credit windows
+//	srq — one shared receive pool per server worker (Options.UseSRQ)
+//	ud  — SRQ plus the hybrid UD small-get endpoint (Options.UDGets)
+//	mux — connection concentrator: connScaleMuxK sessions per RC QP
+var connScaleModes = []string{"rc", "srq", "ud", "mux"}
+
+// connScaleMuxK is the concentrator fan-in used by the mux mode.
+const connScaleMuxK = 16
+
+// connScaleFitCounts are the live client counts the footprint is
+// actually measured at; the linear fit through them extrapolates to the
+// counts no simulation could host.
+var connScaleFitCounts = []int{8, 48}
+
+// connScaleExtrapCounts are the projected client counts (the paper's
+// "very large number of connections" regime).
+var connScaleExtrapCounts = []int{100, 1_000, 10_000, 100_000}
+
+// ConnScalePoint is the server receive-buffer footprint at one client
+// count. Measured=false rows come from the fixed+slope fit, not a run.
+type ConnScalePoint struct {
+	Mode            string  `json:"mode"`
+	Clients         int     `json:"clients"`
+	ServerRecvBytes float64 `json:"server_recv_bytes"`
+	PerClientBytes  float64 `json:"per_client_bytes"`
+	Measured        bool    `json:"measured"`
+}
+
+// ConnScaleModel is the per-mode linear memory model fitted from the
+// measured counts: ServerRecvBytes(n) ≈ Fixed + Slope·n.
+type ConnScaleModel struct {
+	Mode                string  `json:"mode"`
+	FixedBytes          float64 `json:"fixed_bytes"`
+	SlopeBytesPerClient float64 `json:"slope_bytes_per_client"`
+}
+
+// ConnScaleReport is the full sweep: memory models and points for every
+// mode, plus aggregate small-get TPS at TPSClients live clients.
+type ConnScaleReport struct {
+	Models     []ConnScaleModel   `json:"models"`
+	Points     []ConnScalePoint   `json:"points"`
+	TPSClients int                `json:"tps_clients"`
+	TPS        map[string]float64 `json:"tps"`
+}
+
+// connScaleDeploy maps a mode name onto deployment options.
+func connScaleDeploy(mode string, o cluster.Options) cluster.Options {
+	switch mode {
+	case "srq":
+		o.UseSRQ = true
+	case "ud":
+		o.UseSRQ = true
+		o.UDGets = true
+	case "mux":
+		o.SessionsPerQP = connScaleMuxK
+	}
+	return o
+}
+
+// connScaleFootprint measures total server receive-buffer bytes after
+// nClients connect and trade one op each (the SRQFootprint protocol,
+// per mode).
+func connScaleFootprint(p *cluster.Profile, mode string, nClients int, cfg RunConfig) (int64, error) {
+	d := cluster.New(p, connScaleDeploy(mode, cfg.Deploy))
+	defer d.Close()
+	for i := 0; i < nClients; i++ {
+		c, err := d.NewClient(cluster.UCRIB, mcclient.DefaultBehaviors())
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		if err := c.MC.Set(fmt.Sprintf("warm-%d", i), []byte("x"), 0, 0); err != nil {
+			return 0, err
+		}
+	}
+	return d.Server.UCRRecvBufferBytes(), nil
+}
+
+// connScaleTPS measures aggregate closed-loop small-get TPS with
+// nClients live clients, each running cfg.OpsPerPoint gets against the
+// shared keyspace. Unlike TPSPoint it drives every client from ONE
+// goroutine, round-robin: the srq/ud/mux datapaths funnel many clients
+// through shared server structures (one receive pool, one UD QP, one
+// trunk lock), so with concurrent drivers the real-time goroutine
+// interleaving would pick the virtual-time service order and the number
+// would change run to run. Round-robin fixes the event order while
+// keeping the closed-loop semantics — each client's virtual clock still
+// advances only by its own op latencies.
+func connScaleTPS(p *cluster.Profile, mode string, nClients int, cfg RunConfig) (float64, error) {
+	d := cluster.New(p, connScaleDeploy(mode, cfg.Deploy))
+	defer d.Close()
+
+	clients := make([]*cluster.Client, nClients)
+	for i := range clients {
+		c, err := d.NewClient(cluster.UCRIB, mcclient.DefaultBehaviors())
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	w0 := NewWorkload(cfg.Seed, cfg.KeySpace, scalingValueSize)
+	for _, k := range w0.Keys() {
+		if err := clients[0].MC.Set(k, w0.Value(), 0, 0); err != nil {
+			return 0, err
+		}
+	}
+	var start simnet.Time
+	for _, c := range clients {
+		if c.Clock.Now() > start {
+			start = c.Clock.Now()
+		}
+	}
+	for _, c := range clients {
+		c.Clock.AdvanceTo(start)
+	}
+
+	workloads := make([]*Workload, nClients)
+	for i := range workloads {
+		workloads[i] = NewWorkload(cfg.Seed, cfg.KeySpace, scalingValueSize)
+		workloads[i].nextKey = i
+	}
+	for n := 0; n < cfg.OpsPerPoint; n++ {
+		for i, c := range clients {
+			if _, _, _, err := c.MC.Get(workloads[i].Key()); err != nil {
+				return 0, fmt.Errorf("client %d op %d: %w", i, n, err)
+			}
+		}
+	}
+	var makespan simnet.Duration
+	for _, c := range clients {
+		if d := c.Clock.Now() - start; d > makespan {
+			makespan = d
+		}
+	}
+	totalOps := float64(nClients * cfg.OpsPerPoint)
+	return totalOps / makespan.Seconds(), nil
+}
+
+// ConnScaleSweep runs the connection-scalability study on profile p:
+// for every mode it measures the server footprint at the fit counts,
+// fits the linear memory model, projects it across the extrapolation
+// counts, and measures aggregate small-get TPS with tpsClients live
+// closed-loop clients (tpsClients <= 0 defaults to 100, the 10² point
+// the acceptance ratio is pinned at).
+func ConnScaleSweep(p *cluster.Profile, tpsClients int, cfg RunConfig) (*ConnScaleReport, error) {
+	cfg = cfg.withDefaults()
+	if tpsClients <= 0 {
+		tpsClients = 100
+	}
+	rep := &ConnScaleReport{
+		TPSClients: tpsClients,
+		TPS:        make(map[string]float64, len(connScaleModes)),
+	}
+	for _, mode := range connScaleModes {
+		var bytesAt []float64
+		for _, n := range connScaleFitCounts {
+			b, err := connScaleFootprint(p, mode, n, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: connscale %s n=%d: %w", mode, n, err)
+			}
+			bytesAt = append(bytesAt, float64(b))
+			rep.Points = append(rep.Points, ConnScalePoint{
+				Mode: mode, Clients: n,
+				ServerRecvBytes: float64(b),
+				PerClientBytes:  float64(b) / float64(n),
+				Measured:        true,
+			})
+		}
+		n1, n2 := float64(connScaleFitCounts[0]), float64(connScaleFitCounts[1])
+		slope := (bytesAt[1] - bytesAt[0]) / (n2 - n1)
+		fixed := bytesAt[0] - slope*n1
+		rep.Models = append(rep.Models, ConnScaleModel{
+			Mode: mode, FixedBytes: fixed, SlopeBytesPerClient: slope,
+		})
+		for _, n := range connScaleExtrapCounts {
+			total := fixed + slope*float64(n)
+			rep.Points = append(rep.Points, ConnScalePoint{
+				Mode: mode, Clients: n,
+				ServerRecvBytes: total,
+				PerClientBytes:  total / float64(n),
+			})
+		}
+		tps, err := connScaleTPS(p, mode, tpsClients, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: connscale %s tps: %w", mode, err)
+		}
+		rep.TPS[mode] = tps
+	}
+	return rep, nil
+}
+
+// PerClientAt evaluates a mode's memory model at n clients.
+func (r *ConnScaleReport) PerClientAt(mode string, n int) float64 {
+	for _, m := range r.Models {
+		if m.Mode == mode {
+			return (m.FixedBytes + m.SlopeBytesPerClient*float64(n)) / float64(n)
+		}
+	}
+	return 0
+}
+
+// ConnScaleTable renders the report: one footprint table (rows =
+// client counts, columns = modes, cells = per-client bytes) and the
+// TPS line.
+func ConnScaleTable(r *ConnScaleReport) string {
+	counts := map[int]bool{}
+	cell := map[[2]interface{}]ConnScalePoint{}
+	for _, pt := range r.Points {
+		counts[pt.Clients] = true
+		cell[[2]interface{}{pt.Mode, pt.Clients}] = pt
+	}
+	var ns []int
+	for n := range counts {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	var sb strings.Builder
+	sb.WriteString("# connection scalability: per-client server recv bytes (* = measured)\n")
+	sb.WriteString("clients ")
+	for _, m := range connScaleModes {
+		fmt.Fprintf(&sb, " %12s", m)
+	}
+	sb.WriteString("\n")
+	for _, n := range ns {
+		fmt.Fprintf(&sb, "%-8d", n)
+		for _, m := range connScaleModes {
+			pt, ok := cell[[2]interface{}{m, n}]
+			if !ok {
+				fmt.Fprintf(&sb, " %12s", "-")
+				continue
+			}
+			mark := " "
+			if pt.Measured {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, " %11.1f%s", pt.PerClientBytes, mark)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "# TPS at %d clients:", r.TPSClients)
+	for _, m := range connScaleModes {
+		fmt.Fprintf(&sb, "  %s=%.0f", m, r.TPS[m])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

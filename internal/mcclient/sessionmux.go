@@ -1,0 +1,280 @@
+package mcclient
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memcached"
+	"repro/internal/simnet"
+)
+
+// SessionMux is the connection concentrator: k logical client sessions
+// multiplexed over one RC queue pair (one UCRTransport). The paper
+// names RC's dedicated per-connection resources as the client-count
+// scaling limit; concentrating sessions divides that footprint by k at
+// the cost of sharing one wire and one progress context.
+//
+// Every session's requests ride the shared transport's tagged reply
+// slots — the per-request counter id is the session's demultiplex key,
+// so replies land in the issuing session's op no matter how sessions
+// interleave on the QP. Sessions may be driven from different
+// goroutines: a mutex serializes every touch of the shared transport,
+// released between progress steps so one session waiting for its reply
+// never starves the others. FIFO per session holds because each session
+// issues at most one op at a time and blocks for it; the interleaving
+// across sessions on the shared QP is invisible to each session's
+// program order.
+type SessionMux struct {
+	mu sync.Mutex
+	t  *UCRTransport
+	n  int
+}
+
+// NewSessionMux concentrates k sessions over t. The caller must not use
+// t directly afterwards (sessions own its slot table).
+func NewSessionMux(t *UCRTransport, k int) *SessionMux {
+	if k < 1 {
+		k = 1
+	}
+	return &SessionMux{t: t, n: k}
+}
+
+// Sessions reports the concentration factor k.
+func (m *SessionMux) Sessions() int { return m.n }
+
+// Transport exposes the shared trunk transport (stats, tests).
+func (m *SessionMux) Transport() *UCRTransport { return m.t }
+
+// Session returns the i'th logical session (0 ≤ i < k). Each session
+// implements Transport and is safe to drive from its own goroutine.
+func (m *SessionMux) Session(i int) *Session {
+	return &Session{mux: m, id: i, name: fmt.Sprintf("%s#%d", m.t.Name(), i)}
+}
+
+// Close tears down the shared transport. Call once, after every session
+// is quiescent.
+func (m *SessionMux) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t.Close()
+}
+
+// Session is one multiplexed logical client over the shared QP.
+type Session struct {
+	mux  *SessionMux
+	id   int
+	name string
+}
+
+// ID reports the session index within its mux.
+func (s *Session) ID() int { return s.id }
+
+// Name implements Transport.
+func (s *Session) Name() string { return s.name }
+
+// Close implements Transport. Closing a session is a no-op — the shared
+// QP stays up for its siblings; use SessionMux.Close to tear down.
+func (s *Session) Close() {}
+
+// doShared opens an op under the mux lock (build must create it via
+// t.newOp and set op.send), sends it, and waits for its counter with
+// the lock released between progress steps: whichever session holds the
+// lock drives the shared CQ, and a completion for any sibling lands in
+// that sibling's slot before the lock is handed on.
+func (m *SessionMux) doShared(clk *simnet.VClock, build func(t *UCRTransport) *amOp) (*amOp, error) {
+	t := m.t
+	m.mu.Lock()
+	op := build(t)
+	sendErr := op.send()
+	m.mu.Unlock()
+	if sendErr != nil {
+		m.retire(op)
+		return nil, ErrServerDown
+	}
+	attempts := 1 + t.rt.Config().AMRetries
+	per := t.perAttempt(attempts)
+	for a := 0; a < attempts; a++ {
+		deadline := simnet.Time(1) << 50
+		if per > 0 {
+			deadline = clk.Now() + per
+		}
+		for {
+			m.mu.Lock()
+			if op.ctr.Value() >= 1 {
+				m.mu.Unlock()
+				return op, nil
+			}
+			if op.ep.Failed() {
+				m.mu.Unlock()
+				m.retire(op)
+				return nil, ErrServerDown
+			}
+			ok, timedOut := t.ctx.ProgressDeadline(clk, deadline, t.rt.Config().RealSilenceCap)
+			m.mu.Unlock()
+			if timedOut {
+				break
+			}
+			if !ok {
+				m.retire(op)
+				return nil, ErrServerDown
+			}
+		}
+		if a+1 < attempts {
+			m.mu.Lock()
+			sendErr = op.send()
+			m.mu.Unlock()
+			if sendErr != nil {
+				m.retire(op)
+				return nil, ErrServerDown
+			}
+		}
+	}
+	m.mu.Lock()
+	ep := op.ep
+	m.mu.Unlock()
+	ep.MarkFailed()
+	m.retire(op)
+	return nil, ErrServerDown
+}
+
+// retire finishes an op under the lock.
+func (m *SessionMux) retire(op *amOp) {
+	m.mu.Lock()
+	m.t.finishOp(op)
+	m.mu.Unlock()
+}
+
+// Set implements Transport.
+func (s *Session) Set(clk *simnet.VClock, key string, flags uint32, exptime int64, value []byte) (memcached.StoreResult, error) {
+	m := s.mux
+	op, err := m.doShared(clk, func(t *UCRTransport) *amOp {
+		op := t.newOp()
+		hdr := memcached.EncodeSetReq(memcached.SetReq{
+			ReplyCtr: op.tag, Flags: flags, Exptime: exptime, Key: key,
+		})
+		op.send = func() error {
+			return t.ep.Send(clk, memcached.AMSet, hdr, value, nil, 0, nil)
+		}
+		return op
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer m.retire(op)
+	if op.status.Status != memcached.AMOK {
+		return op.status.Result, nil
+	}
+	return memcached.Stored, nil
+}
+
+// Get implements Transport.
+func (s *Session) Get(clk *simnet.VClock, key string) ([]byte, uint32, uint64, bool, error) {
+	m := s.mux
+	op, err := m.doShared(clk, func(t *UCRTransport) *amOp {
+		op := t.newOp()
+		hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+		op.send = func() error {
+			return t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
+		}
+		return op
+	})
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	defer m.retire(op)
+	if op.get.Status != memcached.AMOK {
+		return nil, 0, 0, false, nil
+	}
+	m.mu.Lock()
+	out := make([]byte, len(op.data))
+	copy(out, op.data)
+	fl, cas := op.get.Flags, op.get.CAS
+	m.mu.Unlock()
+	return out, fl, cas, true, nil
+}
+
+// GetMulti implements Transport.
+func (s *Session) GetMulti(clk *simnet.VClock, keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	m := s.mux
+	op, err := m.doShared(clk, func(t *UCRTransport) *amOp {
+		op := t.newOp()
+		hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
+		op.send = func() error {
+			return t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil)
+		}
+		return op
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.retire(op)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(op.mget.Items))
+	off := 0
+	for _, it := range op.mget.Items {
+		if off+it.ValueLen > len(op.data) {
+			return nil, memcached.ErrShortAMHeader
+		}
+		v := make([]byte, it.ValueLen)
+		copy(v, op.data[off:off+it.ValueLen])
+		out[it.Key] = v
+		off += it.ValueLen
+	}
+	return out, nil
+}
+
+// Delete implements Transport.
+func (s *Session) Delete(clk *simnet.VClock, key string) (bool, error) {
+	m := s.mux
+	op, err := m.doShared(clk, func(t *UCRTransport) *amOp {
+		op := t.newOp()
+		hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+		op.send = func() error {
+			return t.ep.Send(clk, memcached.AMDelete, hdr, nil, nil, 0, nil)
+		}
+		return op
+	})
+	if err != nil {
+		return false, err
+	}
+	defer m.retire(op)
+	return op.status.Status == memcached.AMOK, nil
+}
+
+// IncrDecr implements Transport.
+func (s *Session) IncrDecr(clk *simnet.VClock, key string, delta uint64, incr bool) (uint64, bool, bool, error) {
+	amID := memcached.AMIncr
+	if !incr {
+		amID = memcached.AMDecr
+	}
+	m := s.mux
+	op, err := m.doShared(clk, func(t *UCRTransport) *amOp {
+		op := t.newOp()
+		hdr := memcached.EncodeNumReq(memcached.NumReq{ReplyCtr: op.tag, Delta: delta, Key: key})
+		op.send = func() error {
+			return t.ep.Send(clk, amID, hdr, nil, nil, 0, nil)
+		}
+		return op
+	})
+	if err != nil {
+		return 0, false, false, err
+	}
+	defer m.retire(op)
+	switch op.num.Status {
+	case memcached.AMOK:
+		return op.num.Value, true, false, nil
+	case memcached.AMBadValue:
+		return 0, true, true, nil
+	case memcached.AMError:
+		return 0, true, false, ErrServerError
+	default:
+		return 0, false, false, nil
+	}
+}
+
+// interface conformance
+var _ Transport = (*Session)(nil)

@@ -30,6 +30,18 @@ type UCRTransport struct {
 	timeout simnet.Duration
 	noReply bool
 
+	// UD small-get mode (§VII): an optional unreliable endpoint to the
+	// same server. GET/MGET requests whose request and reply both fit one
+	// datagram ride it; a lost datagram is recovered by the same AM-level
+	// retransmission budget the RC path uses for lossy fabrics, and a
+	// too-large reply comes back as a status-only AMTooBig/AMMGetRetry
+	// that re-issues the op over the RC endpoint. Mutating ops never use
+	// it.
+	udEP          *ucr.Endpoint
+	udGets        uint64 // requests issued on the UD endpoint
+	udRetransmits uint64 // AM-level re-sends on the UD endpoint
+	udFallbacks   uint64 // UD replies that punted the op back to RC
+
 	// Tagged reply slots, written by the AM handlers while this
 	// transport's owner drives progress.
 	slots    map[ucr.CounterID]*amOp
@@ -42,14 +54,16 @@ type UCRTransport struct {
 	lastOneSided bool // most recent Get was served one-sided
 }
 
-// amOp is one in-flight request: its tag (= reply counter id), where
-// the reply landed, and how to (re-)send it.
+// amOp is one in-flight request: its tag (= reply counter id), the
+// endpoint it rides, where the reply landed, and how to (re-)send it.
 type amOp struct {
 	tag    ucr.CounterID
 	ctr    *ucr.Counter
-	lend   []byte // caller-lent value buffer (GetInto); nil = pool
-	pooled bool   // data came from the transport pool: recycle on finish
-	data   []byte // landed value bytes
+	ep     *ucr.Endpoint // endpoint the request (and any re-send) uses
+	lend   []byte        // caller-lent value buffer (GetInto); nil = pool
+	pooled bool          // data came from the transport pool: recycle on finish
+	data   []byte        // landed value bytes
+	tooBig bool          // UD reply punted: value exceeds one datagram
 	status memcached.StatusReply
 	get    memcached.GetReply
 	mget   memcached.MGetReply
@@ -120,9 +134,34 @@ func RegisterClientHandlers(rt *ucr.Runtime) {
 			if !ok {
 				return
 			}
+			op := t.slots[tag]
+			if op == nil {
+				// Late duplicate: its tag was retired, suppress. The
+				// mutation build accepts it into a live slot instead —
+				// the bug class this scheme exists to prevent. Accepting
+				// means the whole completion event lands on the victim:
+				// payload AND counter fire, so the victim's waiter
+				// returns this stale reply as its own.
+				if v := t.dupVictim(ep); v != nil {
+					v.get, _ = memcached.DecodeGetReply(hdr)
+					v.data = data
+					v.ctr.MutBump()
+				}
+				return
+			}
+			op.get, _ = memcached.DecodeGetReply(hdr)
+			op.data = data
+		},
+	})
+	rt.RegisterHandler(memcached.AMMGetRetry, ucr.Handler{
+		Header: nilHeader,
+		Completion: func(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data []byte, tag ucr.CounterID) {
+			t, ok := ep.UserData.(*UCRTransport)
+			if !ok {
+				return
+			}
 			if op := t.slots[tag]; op != nil {
-				op.get, _ = memcached.DecodeGetReply(hdr)
-				op.data = data
+				op.tooBig = true
 			}
 		},
 	})
@@ -182,7 +221,11 @@ func (t *UCRTransport) landingBuf(tag ucr.CounterID, dataLen int) []byte {
 	}
 	op := t.slots[tag]
 	if op == nil {
-		return t.scratchFor(dataLen)
+		if v := t.dupVictim(t.udEP); v != nil {
+			op = v // mutation build: clobber a live slot (see dupVictim)
+		} else {
+			return t.scratchFor(dataLen)
+		}
 	}
 	if op.lend != nil && cap(op.lend) >= dataLen {
 		op.pooled = false
@@ -192,6 +235,25 @@ func (t *UCRTransport) landingBuf(tag ucr.CounterID, dataLen int) []byte {
 		op.data = t.takeBuf(dataLen)
 	}
 	return op.data
+}
+
+// dupVictim is the mut_ud_dup_ack seeded bug: instead of suppressing a
+// reply whose tag matches no slot (a late duplicate from a retransmitted
+// UD request whose original answer also arrived), it "accepts it twice"
+// by routing it into whichever live slot has the lowest tag — exactly
+// the clobbering the tagged-counter scheme prevents. Always nil in a
+// normal build; only meaningful when a UD endpoint exists (ep non-nil).
+func (t *UCRTransport) dupVictim(ep *ucr.Endpoint) *amOp {
+	if !memcached.MutUDDupAck || ep == nil {
+		return nil
+	}
+	var victim *amOp
+	for tag, op := range t.slots {
+		if victim == nil || tag < victim.tag {
+			victim = op
+		}
+	}
+	return victim
 }
 
 // scratchCap bounds the retained stale-reply landing buffer.
@@ -239,6 +301,7 @@ func (t *UCRTransport) newOp() *amOp {
 	}
 	op.ctr = t.rt.NewCounter()
 	op.tag = op.ctr.ID()
+	op.ep = t.ep
 	t.slots[op.tag] = op
 	return op
 }
@@ -262,6 +325,25 @@ func (t *UCRTransport) Name() string { return t.name }
 // Endpoint exposes the UCR endpoint (tests).
 func (t *UCRTransport) Endpoint() *ucr.Endpoint { return t.ep }
 
+// EnableUD arms the UD small-get mode with an unreliable endpoint to the
+// same server, dialed in the same progress context (one CQ drives both).
+// GETs and MGETs whose request fits a datagram ride it from now on.
+func (t *UCRTransport) EnableUD(ep *ucr.Endpoint) {
+	ep.UserData = t
+	t.udEP = ep
+}
+
+// UDEndpoint exposes the UD endpoint, nil unless EnableUD was called.
+func (t *UCRTransport) UDEndpoint() *ucr.Endpoint { return t.udEP }
+
+// UDStats reports the UD small-get path's counters: requests issued on
+// the UD endpoint, AM-level retransmissions on it, and replies that
+// punted the op back to RC (AMTooBig / AMMGetRetry). Tests use gets and
+// retransmits as vacuity guards for the UD datapath.
+func (t *UCRTransport) UDStats() (gets, retransmits, fallbacks uint64) {
+	return t.udGets, t.udRetransmits, t.udFallbacks
+}
+
 // do sends op and blocks on its counter (§V-B: "a blocking call with
 // client specified timeout"). With the runtime's AMRetries knob set, a
 // timed-out request is re-sent — the per-attempt wait is the op timeout
@@ -274,6 +356,12 @@ func (t *UCRTransport) do(clk *simnet.VClock, op *amOp) error {
 	attempts := 1 + t.rt.Config().AMRetries
 	per := t.perAttempt(attempts)
 	for a := 0; a < attempts; a++ {
+		if a > 0 && op.ep == t.udEP {
+			// Client-side UD retransmission: datagram loss is silent, so
+			// the timed-out request is simply re-offered (the tag routes
+			// the reply; a late duplicate lands in scratch).
+			t.udRetransmits++
+		}
 		if err := op.send(); err != nil {
 			t.finishOp(op)
 			return ErrServerDown
@@ -287,8 +375,9 @@ func (t *UCRTransport) do(clk *simnet.VClock, op *amOp) error {
 			return ErrServerDown
 		}
 	}
+	ep := op.ep
 	t.finishOp(op)
-	t.ep.MarkFailed()
+	ep.MarkFailed()
 	return ErrServerDown
 }
 
@@ -312,7 +401,7 @@ func (t *UCRTransport) waitDone(clk *simnet.VClock, op *amOp, batch int) error {
 	if op.ctr.Value() >= 1 {
 		return nil
 	}
-	if t.ep.Failed() {
+	if op.ep.Failed() {
 		return ErrServerDown
 	}
 	attempts := 1 + t.rt.Config().AMRetries
@@ -326,12 +415,15 @@ func (t *UCRTransport) waitDone(clk *simnet.VClock, op *amOp, batch int) error {
 			return ErrServerDown
 		}
 		if a+1 < attempts {
+			if op.ep == t.udEP && t.udEP != nil {
+				t.udRetransmits++
+			}
 			if serr := op.send(); serr != nil {
 				return ErrServerDown
 			}
 		}
 	}
-	t.ep.MarkFailed()
+	op.ep.MarkFailed()
 	return ErrServerDown
 }
 
@@ -373,8 +465,36 @@ func (t *UCRTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime
 }
 
 // getOp issues one get request and blocks for its reply; the caller
-// reads the slot and retires it.
+// reads the slot and retires it. With UD small-get mode armed, the
+// request rides the unreliable endpoint first and transparently
+// re-issues over RC when the server answers AMTooBig (value exceeds one
+// datagram) or the UD endpoint has been isolated.
 func (t *UCRTransport) getOp(clk *simnet.VClock, key string, lend []byte) (*amOp, error) {
+	if t.udEP != nil && !t.udEP.Failed() {
+		op := t.newOp()
+		op.lend = lend
+		op.ep = t.udEP
+		hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+		if len(hdr) <= t.udEP.MaxEager() {
+			op.send = func() error {
+				return t.udEP.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
+			}
+			t.udGets++
+			err := t.do(clk, op)
+			if err == nil && op.get.Status != memcached.AMTooBig {
+				return op, nil
+			}
+			if err == nil {
+				// Server punted: the value outgrew the datagram.
+				t.udFallbacks++
+				t.finishOp(op)
+			}
+			// A hard UD failure (retry budget exhausted) isolates only the
+			// UD endpoint; the RC path below still serves the op.
+		} else {
+			t.finishOp(op)
+		}
+	}
 	op := t.newOp()
 	op.lend = lend
 	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
@@ -436,13 +556,35 @@ func (t *UCRTransport) GetInto(clk *simnet.VClock, key string, buf []byte) ([]by
 // uint16 key-count field.
 const maxMGetKeys = 4096
 
-// mgetOp issues one multi-get AM and blocks for its reply.
+// mgetOp issues one multi-get AM and blocks for its reply. Under UD
+// small-get mode a batch whose request fits one datagram is tried there
+// first; an AMMGetRetry answer (aggregate reply too large) re-issues the
+// whole batch over RC.
 func (t *UCRTransport) mgetOp(clk *simnet.VClock, keys []string, lend []byte) (*amOp, error) {
+	hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: 0, Keys: keys})
+	if t.udEP != nil && !t.udEP.Failed() && len(hdr) <= t.udEP.MaxEager() {
+		op := t.newOp()
+		op.lend = lend
+		op.ep = t.udEP
+		udHdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
+		op.send = func() error {
+			return t.udEP.Send(clk, memcached.AMMGet, udHdr, nil, nil, 0, nil)
+		}
+		t.udGets++
+		err := t.do(clk, op)
+		if err == nil && !op.tooBig {
+			return op, nil
+		}
+		if err == nil {
+			t.udFallbacks++
+			t.finishOp(op)
+		}
+	}
 	op := t.newOp()
 	op.lend = lend
-	hdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
+	rcHdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
 	op.send = func() error {
-		return t.ep.Send(clk, memcached.AMMGet, hdr, nil, nil, 0, nil)
+		return t.ep.Send(clk, memcached.AMMGet, rcHdr, nil, nil, 0, nil)
 	}
 	if err := t.do(clk, op); err != nil {
 		return nil, err

@@ -31,6 +31,11 @@ const (
 	AMMiss     uint8 = 1
 	AMError    uint8 = 2
 	AMBadValue uint8 = 3
+	// AMTooBig answers a GET that arrived on an unreliable (UD) endpoint
+	// whose value does not fit one datagram: the reply carries the status
+	// only and the client re-issues the request over its RC endpoint.
+	// Never sent on reliable endpoints (those use eager or rendezvous).
+	AMTooBig uint8 = 4
 )
 
 // ErrShortAMHeader reports a malformed active-message header.

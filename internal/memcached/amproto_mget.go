@@ -15,6 +15,11 @@ import (
 const (
 	AMMGet      uint8 = 0x15
 	AMMGetReply uint8 = 0x23
+	// AMMGetRetry answers a multi-get that arrived on an unreliable (UD)
+	// endpoint whose aggregate reply does not fit one datagram. The reply
+	// carries no payload (MGetReply has no status field and its wire
+	// format is frozen); the client re-issues the batch over RC.
+	AMMGetRetry uint8 = 0x26
 )
 
 // MGetReq is the AM 1 header for a multi-get.

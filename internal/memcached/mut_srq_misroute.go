@@ -1,0 +1,13 @@
+//go:build mut_srq_misroute
+
+package memcached
+
+import "repro/internal/ucr"
+
+// The misroute switch lives in the ucr package (the demux is there);
+// this package only registers the tag — it imports ucr, never the other
+// way around.
+func init() {
+	ucr.MutSRQMisroute = true
+	activeMutations = append(activeMutations, "mut_srq_misroute")
+}

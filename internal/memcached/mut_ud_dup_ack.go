@@ -1,0 +1,8 @@
+//go:build mut_ud_dup_ack
+
+package memcached
+
+func init() {
+	MutUDDupAck = true
+	activeMutations = append(activeMutations, "mut_ud_dup_ack")
+}

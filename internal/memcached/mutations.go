@@ -30,6 +30,13 @@ var (
 	// against the directory accept stale or torn reads (the bug class
 	// the casid re-read exists to catch).
 	mutOneSidedStale bool
+	// MutUDDupAck: the client transport keeps a retired reply slot live,
+	// so a late duplicate UD reply (from a retransmitted request whose
+	// original answer also arrived) is accepted twice instead of landing
+	// in scratch — the dup-suppression bug class of the tagged-counter
+	// scheme. Exported because the switch is consulted by the mcclient
+	// package, which imports this one; the mutation registry stays here.
+	MutUDDupAck bool
 
 	activeMutations []string
 )

@@ -188,6 +188,20 @@ func (s *Server) UCRRecvBufferBytes() int64 {
 	return total
 }
 
+// UCRSRQDemux totals how many arrivals the workers' progress contexts
+// demultiplexed off their shared receive queues — zero unless the
+// runtime was configured with UseSRQ. Tests use it as a vacuity guard
+// for the shared-SRQ serving path.
+func (s *Server) UCRSRQDemux() uint64 {
+	var total uint64
+	for _, w := range s.workers {
+		if w.ctx != nil {
+			total += w.ctx.SRQDemux()
+		}
+	}
+	return total
+}
+
 // WorkerClocks reports each worker's current virtual time (benchmarks
 // use the max as the server-side makespan).
 func (s *Server) WorkerClocks() []simnet.Time {

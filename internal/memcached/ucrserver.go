@@ -182,6 +182,14 @@ func (s *Server) amGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data [
 		s.store.Unpin(it)
 		return
 	}
+	if ep.Reliability() == ucr.Unreliable {
+		// UD small-get mode: a value that outgrows the datagram cannot
+		// ride this endpoint (no rendezvous on UD) — tell the client to
+		// re-issue over its RC endpoint rather than failing the op.
+		s.store.Unpin(it)
+		_ = ep.Send(clk, AMGetReply, EncodeGetReply(GetReply{Status: AMTooBig}), nil, nil, req.ReplyCtr, nil)
+		return
+	}
 	// Rendezvous: the client will RDMA-read straight from the item's
 	// chunk. Keep it pinned until the transfer's origin counter fires
 	// (directly addressing the corruption hazard the paper raises for
@@ -221,6 +229,17 @@ func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data 
 		items = append(items, it)
 		total += len(it.Value())
 	}
+	encoded := EncodeMGetReply(reply)
+	if ep.Reliability() == ucr.Unreliable && len(encoded)+total > ep.MaxEager() {
+		// UD small-get mode: the batch outgrew the datagram. Release the
+		// pins and send the payload-free retry marker; the client
+		// re-issues the whole batch over RC.
+		for _, it := range items {
+			s.store.Unpin(it)
+		}
+		_ = ep.Send(clk, AMMGetRetry, nil, nil, nil, req.ReplyCtr, nil)
+		return
+	}
 	// Assemble the concatenated block in one pre-sized copy straight out
 	// of the pinned slab chunks; the pins also keep eviction from
 	// recycling a chunk between lookup and copy.
@@ -230,7 +249,7 @@ func (s *Server) amMGetComplete(clk *simnet.VClock, ep *ucr.Endpoint, hdr, data 
 		s.store.Unpin(it)
 	}
 	clk.Advance(simnet.BytesDuration(len(values), s.ucrRT.Config().PackBytesPerSec))
-	_ = ep.Send(clk, AMMGetReply, EncodeMGetReply(reply), values, nil, req.ReplyCtr, nil)
+	_ = ep.Send(clk, AMMGetReply, encoded, values, nil, req.ReplyCtr, nil)
 }
 
 // amStoreComplete serves the conditional storage commands. The value

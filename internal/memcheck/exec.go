@@ -34,6 +34,18 @@ type Config struct {
 	// hits without any server AM. Those hits leave no server record, so
 	// the cross-check validates them by item-version containment.
 	OneSided bool
+	// SRQ serves the deployment from shared receive queues (UCR
+	// transport only): one buffer pool per server worker instead of
+	// per-endpoint credit rings, with arrivals demultiplexed back to
+	// endpoints by QPN. Result.SRQDemux counts those demux decisions —
+	// a run that never demuxed validated nothing.
+	SRQ bool
+	// UD arms the hybrid UD small-get mode (UCR transport only):
+	// clients dial an unreliable datagram endpoint beside RC and serve
+	// datagram-sized GET/MGETs over it, with client-side retransmission
+	// recovering losses. Result.UDGets / UDRetransmits count the
+	// traffic for vacuity checks.
+	UD bool
 }
 
 // Observation is one client-side outcome, tagged with which client saw it.
@@ -43,11 +55,15 @@ type Observation struct {
 }
 
 // runOutcome is everything one execution produced: the server's
-// transition history (sorted by Seq — the linearization order) and the
-// clients' observations.
+// transition history (sorted by Seq — the linearization order), the
+// clients' observations, and the datapath counters the srq/ud vacuity
+// guards check.
 type runOutcome struct {
-	Records []*memcached.OpRecord
-	Obs     []Observation
+	Records       []*memcached.OpRecord
+	Obs           []Observation
+	SRQDemux      uint64
+	UDGets        uint64
+	UDRetransmits uint64
 }
 
 // execute runs a script against a fresh deployment and collects the
@@ -73,6 +89,12 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 	if cfg.OneSided {
 		opts.OneSidedGet = true
 	}
+	if cfg.SRQ {
+		opts.UseSRQ = true
+	}
+	if cfg.UD {
+		opts.UDGets = true
+	}
 	d := cluster.New(cluster.ClusterB(), opts)
 	defer d.Close()
 
@@ -84,7 +106,12 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 			// UCR is unreliable datagram-style at the AM layer: lost
 			// packets need a client-side timeout to trigger the retry.
 			// Socket transports model reliable streams and retransmit
-			// below the client.
+			// below the client. Clean runs leave the timeout unset even
+			// in UD mode — flow-control credits mean a lossless fabric
+			// drops no datagrams, and worker clocks running ahead of a
+			// client's would turn the virtual deadline into spurious
+			// failures. UD retransmission is therefore only exercised
+			// (and only vacuity-checked) under Faults.
 			b.OpTimeout = 4 * simnet.Millisecond
 		}
 	}
@@ -119,9 +146,18 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 	}
 	x.epilogue(sc)
 
-	// Close first, then snapshot: lossy retries can leave duplicated
-	// requests still draining through the server; Close joins the
-	// workers, so afterwards the history is complete.
+	// Snapshot the client-side UD counters before teardown, then close:
+	// lossy retries can leave duplicated requests still draining through
+	// the server; Close joins the workers, so afterwards the history is
+	// complete.
+	var udGets, udRetx uint64
+	for _, cl := range x.clients {
+		if ut, ok := cl.MC.Transport(0).(*mcclient.UCRTransport); ok {
+			g, r, _ := ut.UDStats()
+			udGets += g
+			udRetx += r
+		}
+	}
 	for _, cl := range x.clients {
 		cl.Close()
 	}
@@ -131,7 +167,10 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 
 	recs := x.records
 	sortRecords(recs)
-	return &runOutcome{Records: recs, Obs: x.obs}, nil
+	return &runOutcome{
+		Records: recs, Obs: x.obs,
+		SRQDemux: d.Server.UCRSRQDemux(), UDGets: udGets, UDRetransmits: udRetx,
+	}, nil
 }
 
 type executor struct {

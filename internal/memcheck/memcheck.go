@@ -18,6 +18,13 @@ type Result struct {
 	Violation *Violation
 	Shrunk    *Script
 	Report    string
+
+	// Datapath counters for the srq/ud vacuity guards: SRQ demux
+	// decisions on the server, and requests/retransmissions on the
+	// clients' UD endpoints.
+	SRQDemux      uint64
+	UDGets        uint64
+	UDRetransmits uint64
 }
 
 // Run generates the workload for cfg.Seed, executes it, and checks the
@@ -40,6 +47,9 @@ func RunScript(sc Script, cfg Config) *Result {
 	if out != nil {
 		res.History = out.Records
 		res.Obs = out.Obs
+		res.SRQDemux = out.SRQDemux
+		res.UDGets = out.UDGets
+		res.UDRetransmits = out.UDRetransmits
 	}
 	res.Violation = verdict(out, err, cfg)
 	if res.Violation == nil {
@@ -157,8 +167,8 @@ func formatReport(res *Result) string {
 	cfg := res.Config
 	var b strings.Builder
 	b.WriteString("memcheck: VIOLATION\n")
-	fmt.Fprintf(&b, "  seed=%d transport=%s faults=%v pressure=%v nobursts=%v onesided=%v clients=%d ops=%d\n",
-		cfg.Seed, cfg.Transport, cfg.Faults, cfg.Pressure, cfg.NoBursts, cfg.OneSided, res.Script.Clients, len(res.Script.Ops))
+	fmt.Fprintf(&b, "  seed=%d transport=%s faults=%v pressure=%v nobursts=%v onesided=%v srq=%v ud=%v clients=%d ops=%d\n",
+		cfg.Seed, cfg.Transport, cfg.Faults, cfg.Pressure, cfg.NoBursts, cfg.OneSided, cfg.SRQ, cfg.UD, res.Script.Clients, len(res.Script.Ops))
 	fmt.Fprintf(&b, "  violation: %s\n", res.Violation.Error())
 	replay := fmt.Sprintf("go run ./cmd/mccheck -transport %s -seed %d", cfg.Transport, cfg.Seed)
 	if cfg.Faults {
@@ -172,6 +182,12 @@ func formatReport(res *Result) string {
 	}
 	if cfg.OneSided {
 		replay += " -onesided"
+	}
+	if cfg.SRQ {
+		replay += " -srq"
+	}
+	if cfg.UD {
+		replay += " -ud"
 	}
 	if cfg.Clients != 0 {
 		replay += fmt.Sprintf(" -clients %d", cfg.Clients)

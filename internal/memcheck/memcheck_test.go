@@ -79,6 +79,55 @@ func TestOneSidedSeeds(t *testing.T) {
 	}
 }
 
+// TestSRQSeeds sweeps shared-SRQ serving, clean and lossy, with a
+// vacuity guard on the server's demux counter: a sweep where no
+// completion was routed through the shared queue validated nothing.
+func TestSRQSeeds(t *testing.T) {
+	if memcached.ActiveMutations() != nil {
+		t.Skip("store mutations active")
+	}
+	for _, faults := range []bool{false, true} {
+		var demux uint64
+		for seed := uint64(1); seed <= 4; seed++ {
+			res := Run(Config{Transport: cluster.UCRIB, Seed: seed, Ops: 150, Faults: faults, SRQ: true})
+			if res.Violation != nil {
+				t.Errorf("faults=%v seed %d:\n%s", faults, seed, res.Report)
+			}
+			demux += res.SRQDemux
+		}
+		if demux == 0 {
+			t.Errorf("faults=%v: no completion was demuxed off the shared SRQ", faults)
+		}
+	}
+}
+
+// TestUDSeeds sweeps the hybrid UD small-get mode. Clean runs must
+// route gets over the UD endpoint; lossy runs must additionally see
+// client-side retransmissions (silent datagram loss is the whole point
+// of the UD reliability machinery).
+func TestUDSeeds(t *testing.T) {
+	if memcached.ActiveMutations() != nil {
+		t.Skip("store mutations active")
+	}
+	for _, faults := range []bool{false, true} {
+		var gets, retx uint64
+		for seed := uint64(1); seed <= 4; seed++ {
+			res := Run(Config{Transport: cluster.UCRIB, Seed: seed, Ops: 150, Faults: faults, UD: true})
+			if res.Violation != nil {
+				t.Errorf("faults=%v seed %d:\n%s", faults, seed, res.Report)
+			}
+			gets += res.UDGets
+			retx += res.UDRetransmits
+		}
+		if gets == 0 {
+			t.Errorf("faults=%v: no request rode the UD endpoint", faults)
+		}
+		if faults && retx == 0 {
+			t.Error("faults=true: no UD retransmission happened (vacuous lossy sweep)")
+		}
+	}
+}
+
 func TestBlockingTTLSeeds(t *testing.T) {
 	if memcached.ActiveMutations() != nil {
 		t.Skip("store mutations active")
@@ -186,19 +235,31 @@ func TestMutationsCaught(t *testing.T) {
 	if muts == nil {
 		t.Skip("no store mutations active; run with -tags mut_append_nocas (etc.)")
 	}
-	// mut_onesided_stale only fires on the one-sided GET path, so arm it
-	// (on the UCR transport, the only one that has it).
-	oneSided := false
+	// Some mutations only fire on an opt-in datapath, so arm it (on the
+	// UCR transport, the only one that has them). mut_ud_dup_ack needs
+	// late duplicate replies to exist at all, which takes UD traffic
+	// plus the timeouts of a lossy fabric.
+	oneSided, srq, ud, udFaults := false, false, false, false
 	for _, m := range muts {
-		if m == "mut_onesided_stale" {
+		switch m {
+		case "mut_onesided_stale":
 			oneSided = true
+		case "mut_srq_misroute":
+			srq = true
+		case "mut_ud_dup_ack":
+			ud = true
+			udFaults = true
 		}
 	}
 	for seed := uint64(1); seed <= 10; seed++ {
 		for _, tr := range transports {
 			for _, nb := range []bool{false, true} {
+				ucr := tr == cluster.UCRIB
 				res := Run(Config{Transport: tr, Seed: seed, Ops: 200, NoBursts: nb,
-					OneSided: oneSided && tr == cluster.UCRIB})
+					Faults:   udFaults && ucr,
+					OneSided: oneSided && ucr,
+					SRQ:      srq && ucr,
+					UD:       ud && ucr})
 				if res.Violation == nil {
 					continue
 				}

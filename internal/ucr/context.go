@@ -30,7 +30,15 @@ type Context struct {
 
 	// stats
 	amsIn, amsOut, acksIn, acksOut, rdmaReads uint64
+	srqDemux                                  uint64
 }
+
+// MutSRQMisroute, when set (mutation builds only — see the memcached
+// package's mut_srq_misroute build tag), makes the shared-completion
+// demux deliver every third SRQ-fed arrival to a different endpoint in
+// the context: the wrong-connection bug class the memcheck srq mode
+// exists to catch.
+var MutSRQMisroute bool
 
 type pendingSend struct {
 	ep        *Endpoint
@@ -78,6 +86,11 @@ func (c *Context) Stats() (amsIn, amsOut, acksIn, acksOut, rdmaReads uint64) {
 	return c.amsIn, c.amsOut, c.acksIn, c.acksOut, c.rdmaReads
 }
 
+// SRQDemux reports how many arrivals this context demultiplexed off the
+// shared receive queue (zero unless Config.UseSRQ). Tests use it as a
+// vacuity guard: a "shared-SRQ" run that never demuxed proved nothing.
+func (c *Context) SRQDemux() uint64 { return c.srqDemux }
+
 // UseEvents switches this context's completion detection from polling to
 // interrupt-driven events (ablation: §II-A1 notes polling is fastest).
 func (c *Context) UseEvents(on bool) { c.cq.UseEvents = on }
@@ -104,7 +117,10 @@ func (c *Context) newEndpoint(rel Reliability) (*Endpoint, error) {
 	var qp *verbs.QP
 	if useSRQ {
 		if c.srq == nil {
-			c.srq = c.rt.hca.CreateSRQ()
+			// Ring capacity equals the pool size: the post/repost loop is
+			// a tight credit cycle, so a repost can never find the ring
+			// full unless a buffer was double-posted.
+			c.srq = c.rt.hca.CreateSRQSized(c.rt.cfg.SRQBuffers)
 			bufSize := c.bufSize(Reliable)
 			for i := 0; i < c.rt.cfg.SRQBuffers; i++ {
 				id := c.wrID()
@@ -298,13 +314,57 @@ func (c *Context) onSendComplete(wc verbs.WC) {
 	st.originCtr.bump()
 }
 
+// demuxEndpoint resolves an arrived packet to its endpoint. With
+// per-endpoint receive rings the mapping is trivial (each QP has its own
+// ring); with a shared SRQ every RC endpoint's arrivals surface through
+// one buffer pool onto one CQ and the completion envelope is the only
+// routing key — this is the demultiplex step the shared-serving
+// datapath depends on, counted so tests can prove the path actually ran.
+func (c *Context) demuxEndpoint(wc verbs.WC) *Endpoint {
+	ep := c.eps[wc.QPN]
+	if ep == nil || !ep.noCredits {
+		return ep
+	}
+	c.srqDemux++
+	if MutSRQMisroute && c.srqDemux%3 == 0 {
+		if wrong := c.neighborEndpoint(ep); wrong != nil {
+			return wrong
+		}
+	}
+	return ep
+}
+
+// neighborEndpoint deterministically picks a different endpoint from the
+// same context (the next-higher QPN, wrapping to the lowest), or nil if
+// ep is the only one. Mutation-build helper: map iteration order would
+// make the misroute non-replayable.
+func (c *Context) neighborEndpoint(ep *Endpoint) *Endpoint {
+	self := ep.qp.QPN()
+	var next, lowest *Endpoint
+	for qpn, cand := range c.eps {
+		if qpn == self {
+			continue
+		}
+		if lowest == nil || qpn < lowest.qp.QPN() {
+			lowest = cand
+		}
+		if qpn > self && (next == nil || qpn < next.qp.QPN()) {
+			next = cand
+		}
+	}
+	if next != nil {
+		return next
+	}
+	return lowest
+}
+
 // onPacket handles an arrived UCR packet.
 func (c *Context) onPacket(clk *simnet.VClock, wc verbs.WC) {
 	buf, posted := c.pendingRecvs[wc.ID]
 	if posted {
 		delete(c.pendingRecvs, wc.ID)
 	}
-	ep := c.eps[wc.QPN]
+	ep := c.demuxEndpoint(wc)
 	if ep == nil {
 		return
 	}

@@ -97,6 +97,13 @@ func (c *Counter) bump() {
 	}
 }
 
+// MutBump increments the counter from outside the delivery path. It
+// exists only for seeded-mutation builds — mut_ud_dup_ack routes a
+// duplicate reply's completion event into a live slot, which means
+// firing that slot's counter as if its own reply had arrived. Normal
+// code never calls it.
+func (c *Counter) MutBump() { c.bump() }
+
 // HeaderHandler runs at the target when a message header arrives. It may
 // perform limited logic and must return the destination buffer for the
 // data — at least dataLen bytes (a zero dataLen may return nil). clk is

@@ -460,21 +460,45 @@ func (q *QP) postRDMAWrite(clk *simnet.VClock, wr SendWR, remote *QP) error {
 
 // SRQ is a shared receive queue: one pool of posted buffers feeding many
 // QPs, reducing per-connection buffer consumption (the scalability
-// design reused from MVAPICH that the paper cites).
+// design reused from MVAPICH that the paper cites). The ring has a fixed
+// capacity like a hardware SRQ: Post beyond it fails with ErrSRQFull,
+// and an empty ring makes RC senders take the RNR retry path (receiver
+// not ready) rather than dropping — the backpressure loop the shared-
+// serving datapath leans on when a burst outruns the repost rate.
 type SRQ struct {
 	hca *HCA
+	cap int
 	mu  sync.Mutex
 	q   []RecvWR
 }
 
-// CreateSRQ allocates a shared receive queue.
-func (h *HCA) CreateSRQ() *SRQ { return &SRQ{hca: h} }
+// DefaultSRQCap bounds an SRQ created without an explicit capacity.
+const DefaultSRQCap = 4096
 
-// Post adds a buffer to the shared pool.
+// CreateSRQ allocates a shared receive queue with the default capacity.
+func (h *HCA) CreateSRQ() *SRQ { return h.CreateSRQSized(DefaultSRQCap) }
+
+// CreateSRQSized allocates a shared receive queue holding at most cap
+// posted buffers (cap <= 0 selects the default).
+func (h *HCA) CreateSRQSized(cap int) *SRQ {
+	if cap <= 0 {
+		cap = DefaultSRQCap
+	}
+	return &SRQ{hca: h, cap: cap}
+}
+
+// Cap reports the ring capacity.
+func (s *SRQ) Cap() int { return s.cap }
+
+// Post adds a buffer to the shared pool; ErrSRQFull when the ring is at
+// capacity (the work request is not queued).
 func (s *SRQ) Post(wr RecvWR) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) >= s.cap {
+		return ErrSRQFull
+	}
 	s.q = append(s.q, wr)
-	s.mu.Unlock()
 	return nil
 }
 

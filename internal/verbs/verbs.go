@@ -92,6 +92,7 @@ var (
 	ErrQPDestroyed  = errors.New("verbs: queue pair destroyed")
 	ErrInlineLimit  = errors.New("verbs: payload exceeds inline limit")
 	ErrNotConnected = errors.New("verbs: RC queue pair not connected")
+	ErrSRQFull      = errors.New("verbs: shared receive queue ring full")
 )
 
 // QPState is the queue pair state machine position (a subset of the IB

@@ -563,6 +563,16 @@ func TestSRQSharedAcrossQPs(t *testing.T) {
 	if srq.Len() != 2 {
 		t.Fatalf("SRQ len = %d", srq.Len())
 	}
+	// Posting to a QP with an SRQ attached routes to the shared ring.
+	if err := q1.PostRecv(RecvWR{ID: 3, Buf: make([]byte, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	if srq.Len() != 3 {
+		t.Fatalf("SRQ len after QP-routed post = %d, want 3", srq.Len())
+	}
+	if _, ok := srq.pop(); !ok {
+		t.Fatal("pop failed")
+	}
 	// Two different senders each consume one shared buffer.
 	q1.setRemote(p.cliQP) // wiring shortcut for the test
 	q2.setRemote(p.cliQP)
@@ -588,6 +598,95 @@ func TestSRQSharedAcrossQPs(t *testing.T) {
 	}
 	if !seen[q1.QPN()] || !seen[q2.QPN()] {
 		t.Fatalf("completions did not span both QPs: %v", seen)
+	}
+}
+
+// TestSRQRingFull pins the ring-full error path: an SRQ has a hard
+// capacity, Post beyond it must fail with ErrSRQFull and leave the ring
+// unchanged, and popping a buffer must make room again.
+func TestSRQRingFull(t *testing.T) {
+	p := newPair(t, 0, 0)
+	srq := p.srvHCA.CreateSRQSized(2)
+	if srq.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2", srq.Cap())
+	}
+	for i := 0; i < 2; i++ {
+		if err := srq.Post(RecvWR{ID: uint64(i), Buf: make([]byte, 16)}); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+	}
+	if err := srq.Post(RecvWR{ID: 9, Buf: make([]byte, 16)}); err != ErrSRQFull {
+		t.Fatalf("post beyond cap: err = %v, want ErrSRQFull", err)
+	}
+	if srq.Len() != 2 {
+		t.Fatalf("failed post changed ring: len = %d", srq.Len())
+	}
+	// The QP-routed path surfaces the same error.
+	scq := p.srvHCA.CreateCQ()
+	qp := p.srvHCA.NewQPWithSRQ(RC, scq, scq, srq)
+	if err := qp.Modify(StateInit); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.PostRecv(RecvWR{ID: 10, Buf: make([]byte, 16)}); err != ErrSRQFull {
+		t.Fatalf("QP PostRecv on full SRQ: err = %v, want ErrSRQFull", err)
+	}
+	if _, ok := srq.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := srq.Post(RecvWR{ID: 11, Buf: make([]byte, 16)}); err != nil {
+		t.Fatalf("post after pop: %v", err)
+	}
+	// Default-capacity constructor still works for existing callers.
+	if c := p.srvHCA.CreateSRQ().Cap(); c != DefaultSRQCap {
+		t.Fatalf("CreateSRQ().Cap() = %d, want %d", c, DefaultSRQCap)
+	}
+}
+
+// TestSRQZeroCredit is the zero-credit edge: an RC send into a QP whose
+// SRQ holds no buffers must come back as RNR retry exhaustion (receiver
+// not ready), not hang and not drop, and a reposted credit must let the
+// next send land.
+func TestSRQZeroCredit(t *testing.T) {
+	p := newPair(t, 0, 0)
+	srq := p.srvHCA.CreateSRQSized(4)
+	scq := p.srvHCA.CreateCQ()
+	qp := p.srvHCA.NewQPWithSRQ(RC, scq, scq, srq)
+	for _, st := range []QPState{StateInit, StateRTR, StateRTS} {
+		if err := qp.Modify(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qp.setRemote(p.cliQP)
+	p.cliQP.setRemote(qp)
+
+	// No credits posted: the reliable sender sees RNR exhaustion.
+	if err := p.cliQP.PostSend(p.cliClock, SendWR{ID: 1, Op: OpSend, Local: []byte("starved")}); err != nil {
+		t.Fatal(err)
+	}
+	wc, ok := p.cliSend.Wait(p.cliClock)
+	if !ok || wc.Status != StatusRNRRetryExceeded {
+		t.Fatalf("send into zero-credit SRQ: wc = %+v, want StatusRNRRetryExceeded", wc)
+	}
+
+	// One credit reposted: the retry lands.
+	buf := make([]byte, 64)
+	if err := srq.Post(RecvWR{ID: 2, Buf: buf}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cliQP.PostSend(p.cliClock, SendWR{ID: 3, Op: OpSend, Local: []byte("served")}); err != nil {
+		t.Fatal(err)
+	}
+	wc, ok = p.cliSend.Wait(p.cliClock)
+	if !ok || wc.Status != StatusSuccess {
+		t.Fatalf("send after repost: wc = %+v", wc)
+	}
+	srvClk := simnet.NewVClock(0)
+	rwc, ok := scq.Wait(srvClk)
+	if !ok || rwc.Status != StatusSuccess || string(buf[:rwc.ByteLen]) != "served" {
+		t.Fatalf("recv wc = %+v buf=%q", rwc, buf[:rwc.ByteLen])
+	}
+	if srq.Len() != 0 {
+		t.Fatalf("SRQ len = %d after consume", srq.Len())
 	}
 }
 
