@@ -2,7 +2,7 @@
 # adds vet and the race detector (the mcclient ejection path is
 # exercised concurrently).
 
-.PHONY: tier1 tier2 test memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy \
+.PHONY: tier1 tier2 test perfgate memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy \
         memcheck-srq memcheck-srq-lossy memcheck-ud memcheck-ud-lossy mutations fuzz-smoke
 
 tier1:
@@ -64,3 +64,19 @@ FUZZTIME ?= 30s
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzTextProtocol$$' -fuzztime $(FUZZTIME) ./internal/memcached
 	go test -run '^$$' -fuzz '^FuzzAMCodecs$$' -fuzztime $(FUZZTIME) ./internal/memcached
+
+# Perf-regression gate: a quick mcbench run (trimmed pipeline +
+# connection-scaling sweeps) compared against the checked-in BENCH_*
+# trajectory. Tolerances (see cmd/mcgate flags for the full semantics):
+#   throughput  -ktps-tol 0.10  — fail if fresh KTPS < baseline x 0.90
+#   allocations -alloc-tol 0.9  — fail if fresh allocs/op > baseline + 0.9
+#                                 (any ADDED per-op allocation is +1.0 and fails;
+#                                 amortized pool-growth noise stays under ~0.8)
+#   memory      -mem-tol  0.10  — fail if fresh bytes > baseline x 1.10
+# BENCH_4/BENCH_7 pin the pre-batching trajectory (so the gate also
+# proves the event-loop server never dips below the old serving path);
+# BENCH_8 pins the batched loop's own throughput AND its allocs/op, the
+# baseline that catches a quiet return of per-op allocation.
+perfgate:
+	go run ./cmd/mcbench -quick -json | \
+	go run ./cmd/mcgate -baseline BENCH_4.json -baseline BENCH_7.json -baseline BENCH_8.json

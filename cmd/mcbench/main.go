@@ -4,13 +4,20 @@
 // Usage:
 //
 //	mcbench [-figure fig3a] [-csv] [-ops N] [-list] [-speedups]
-//	        [-stripes N] [-scaling] [-pipeline [-quick]] [-json out.json]
+//	        [-stripes N] [-scaling] [-pipeline [-quick]] [-json[=out.json]]
 //
 // With no -figure, every panel is produced. -scaling appends the
 // multi-core workers x stripes sweep; -pipeline runs the windowed
 // in-flight depth sweep instead of the figures (-quick trims it for
 // CI); -json additionally writes every panel (and the sweep) as one
-// machine-readable report.
+// machine-readable report — bare -json streams it to stdout (tables
+// move to stderr), -json=path writes a file.
+//
+// -quick with no sweep selector runs the perf-gate suite: the trimmed
+// pipeline and connection-scaling sweeps in one report, the shape
+// cmd/mcgate consumes:
+//
+//	mcbench -quick -json | mcgate -baseline BENCH_4.json -baseline BENCH_7.json
 package main
 
 import (
@@ -62,16 +69,41 @@ func runScaling(cfg bench.RunConfig) []bench.ScalingPoint {
 	return pts
 }
 
-// writeJSON dumps the report, indented, to path.
+// writeJSON dumps the report, indented, to path ("-" = stdout).
 func writeJSON(path string, rep report) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err == nil {
-		err = os.WriteFile(path, append(data, '\n'), 0o644)
+		data = append(data, '\n')
+		if path == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(path, data, 0o644)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: json: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// jsonFlag is the optional-value -json flag: bare -json means "stream
+// the report to stdout" (so mcbench can feed mcgate over a pipe),
+// -json=path writes a file.
+type jsonFlag struct {
+	set  bool
+	path string
+}
+
+func (f *jsonFlag) String() string { return f.path }
+func (f *jsonFlag) IsBoolFlag() bool { return true }
+func (f *jsonFlag) Set(s string) error {
+	f.set = true
+	if s == "" || s == "true" || s == "-" {
+		f.path = "-"
+	} else {
+		f.path = s
+	}
+	return nil
 }
 
 // runAblations prints the design-choice studies from DESIGN.md.
@@ -173,17 +205,45 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "run the pipelined window-depth sweep instead of the figures")
 		onesided  = flag.Bool("onesided", false, "run the one-sided GET vs AM GET sweep instead of the figures")
 		connscale = flag.Bool("connscale", false, "run the connection-scalability sweep (rc/srq/ud/mux) instead of the figures")
-		quick     = flag.Bool("quick", false, "with -pipeline/-onesided/-connscale: trimmed axes for a CI smoke run")
-		jsonPath  = flag.String("json", "", "also write figures and scaling as a JSON report to this path")
+		quick     = flag.Bool("quick", false, "with -pipeline/-onesided/-connscale: trimmed axes for a CI smoke run; alone: the perf-gate suite")
 	)
+	var jf jsonFlag
+	flag.Var(&jf, "json", "also write the run as a JSON report: bare -json = stdout, -json=path = file")
 	flag.Parse()
+
+	// With JSON streaming to stdout, the human tables move to stderr so
+	// a pipe into mcgate sees only the report.
+	tables := os.Stdout
+	if jf.set && jf.path == "-" {
+		tables = os.Stderr
+	}
+
+	if *quick && !*pipeline && !*onesided && !*connscale && !*ablations && !*faults && !*list && *figID == "" {
+		// Perf-gate suite: the trimmed pipeline and connection-scaling
+		// sweeps in one report (cmd/mcgate compares the cells it shares
+		// with each -baseline file).
+		rep := report{OpsPerPoint: *ops}
+		rep.Pipeline = runPipeline(bench.RunConfig{OpsPerPoint: *ops}, true)
+		fmt.Fprint(tables, bench.PipelineTable(rep.Pipeline))
+		csRep, err := bench.ConnScaleSweep(clusterProfile("B"), 24, bench.RunConfig{OpsPerPoint: *ops})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: connscale: %v\n", err)
+			os.Exit(1)
+		}
+		rep.ConnScale = csRep
+		fmt.Fprint(tables, bench.ConnScaleTable(csRep))
+		if jf.set {
+			writeJSON(jf.path, rep)
+		}
+		return
+	}
 
 	if *pipeline {
 		rep := report{OpsPerPoint: *ops}
 		rep.Pipeline = runPipeline(bench.RunConfig{OpsPerPoint: *ops}, *quick)
-		fmt.Print(bench.PipelineTable(rep.Pipeline))
-		if *jsonPath != "" {
-			writeJSON(*jsonPath, rep)
+		fmt.Fprint(tables, bench.PipelineTable(rep.Pipeline))
+		if jf.set {
+			writeJSON(jf.path, rep)
 		}
 		return
 	}
@@ -199,9 +259,9 @@ func main() {
 			os.Exit(1)
 		}
 		rep := report{OpsPerPoint: *ops, OneSided: osRep}
-		fmt.Print(bench.OneSidedTable(osRep))
-		if *jsonPath != "" {
-			writeJSON(*jsonPath, rep)
+		fmt.Fprint(tables, bench.OneSidedTable(osRep))
+		if jf.set {
+			writeJSON(jf.path, rep)
 		}
 		return
 	}
@@ -217,9 +277,9 @@ func main() {
 			os.Exit(1)
 		}
 		rep := report{OpsPerPoint: *ops, ConnScale: csRep}
-		fmt.Print(bench.ConnScaleTable(csRep))
-		if *jsonPath != "" {
-			writeJSON(*jsonPath, rep)
+		fmt.Fprint(tables, bench.ConnScaleTable(csRep))
+		if jf.set {
+			writeJSON(jf.path, rep)
 		}
 		return
 	}
@@ -295,12 +355,12 @@ func main() {
 		// The scaling sweep sets its own stripe axis; the -stripes flag
 		// only shapes the figure runs above.
 		rep.Scaling = runScaling(bench.RunConfig{OpsPerPoint: *ops})
-		fmt.Print(bench.ScalingTable(rep.Scaling))
+		fmt.Fprint(tables, bench.ScalingTable(rep.Scaling))
 		fmt.Println()
 	}
 
-	if *jsonPath != "" {
-		writeJSON(*jsonPath, rep)
+	if jf.set {
+		writeJSON(jf.path, rep)
 	}
 }
 

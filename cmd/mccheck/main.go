@@ -91,7 +91,8 @@ func main() {
 	}
 
 	runs := 0
-	var srqDemux, udGets, udRetx uint64
+	ucrRuns := 0
+	var srqDemux, udGets, udRetx, batchedDrains uint64
 	for _, tr := range trs {
 		for _, s := range seedList {
 			cfg := memcheck.Config{
@@ -121,6 +122,10 @@ func main() {
 			srqDemux += res.SRQDemux
 			udGets += res.UDGets
 			udRetx += res.UDRetransmits
+			batchedDrains += res.BatchedDrains
+			if tr == cluster.UCRIB {
+				ucrRuns++
+			}
 			if res.Violation != nil {
 				fmt.Print(res.Report)
 				if *expect {
@@ -153,6 +158,15 @@ func main() {
 		fmt.Println("mccheck: FAIL: -ud -faults armed but no UD retransmissions happened (vacuous sweep)")
 		os.Exit(1)
 	}
-	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v, srq=%v, ud=%v; srqDemux=%d udGets=%d udRetx=%d)\n",
-		runs, *transport, len(seedList), *faults, *pressure, *srq, *ud, srqDemux, udGets, udRetx)
+	// The batch-scheduled serving loop must actually engage on UCR runs
+	// with pipelined bursts: the generator emits concurrent windows
+	// (unless -nobursts), so across a sweep at least one worker drain
+	// must have harvested ≥2 completions. Zero would mean the checker
+	// was exercising a request-at-a-time loop, not the batched one.
+	if ucrRuns > 0 && !*nobursts && *script == "" && batchedDrains == 0 {
+		fmt.Println("mccheck: FAIL: UCR sweep with bursts but no batched CQ drains recorded (batch path vacuous)")
+		os.Exit(1)
+	}
+	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v, srq=%v, ud=%v; srqDemux=%d udGets=%d udRetx=%d batchedDrains=%d)\n",
+		runs, *transport, len(seedList), *faults, *pressure, *srq, *ud, srqDemux, udGets, udRetx, batchedDrains)
 }

@@ -1,0 +1,290 @@
+// Command mcgate is the CI perf-regression gate: it reads a fresh
+// mcbench -json report (stdin by default) and compares it against one
+// or more checked-in BENCH_*.json baselines, failing the run when a
+// metric silently regressed past its tolerance.
+//
+// Usage:
+//
+//	mcbench -quick -json | mcgate -baseline BENCH_4.json -baseline BENCH_8.json
+//	mcgate -fresh run.json -baseline BENCH_4.json -ktps-tol 0.15
+//
+// Only cells present in BOTH the fresh report and a baseline are
+// compared (a -quick run covers a subset of the full sweep axes; the
+// rest of the baseline is simply not exercised). Comparisons are
+// direction-aware:
+//
+//   - pipeline ktps (and connscale tps): higher is better; fail when
+//     fresh < baseline x (1 - ktps-tol).
+//   - pipeline allocs_per_op: lower is better and absolute; fail when
+//     fresh > baseline + alloc-tol. Baselines written before the field
+//     existed (BENCH_4) skip this check.
+//   - scaling ktps: lower bound, as above.
+//   - connscale model fixed_bytes / slope_bytes_per_client and measured
+//     point server_recv_bytes: lower is better; fail when
+//     fresh > baseline x (1 + mem-tol).
+//
+// Figure panels are not compared here: the depth-1 golden tables are
+// guarded bit-exactly by TestFigureTablesBitIdentical, which is a far
+// tighter gate than any tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The decode types mirror the mcbench report but keep every compared
+// metric a pointer, so a field a baseline predates (e.g. BENCH_4 has
+// no allocs_per_op) is skipped rather than read as a hard zero.
+
+type pipelineCell struct {
+	Transport   string   `json:"transport"`
+	Depth       int      `json:"depth"`
+	ValueSize   int      `json:"value_size"`
+	KTPS        *float64 `json:"ktps"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+type scalingCell struct {
+	Workers int      `json:"workers"`
+	Stripes int      `json:"stripes"`
+	Clients int      `json:"clients"`
+	Mix     string   `json:"mix"`
+	KTPS    *float64 `json:"ktps"`
+}
+
+type connScaleModel struct {
+	Mode                string   `json:"mode"`
+	FixedBytes          *float64 `json:"fixed_bytes"`
+	SlopeBytesPerClient *float64 `json:"slope_bytes_per_client"`
+}
+
+type connScalePoint struct {
+	Mode            string   `json:"mode"`
+	Clients         int      `json:"clients"`
+	ServerRecvBytes *float64 `json:"server_recv_bytes"`
+	Measured        bool     `json:"measured"`
+}
+
+type connScale struct {
+	Models     []connScaleModel   `json:"models"`
+	Points     []connScalePoint   `json:"points"`
+	TPSClients int                `json:"tps_clients"`
+	TPS        map[string]float64 `json:"tps"`
+}
+
+type report struct {
+	OpsPerPoint int            `json:"ops_per_point"`
+	Pipeline    []pipelineCell `json:"pipeline"`
+	Scaling     []scalingCell  `json:"scaling"`
+	ConnScale   *connScale     `json:"connscale"`
+}
+
+// baselineList collects repeated -baseline flags.
+type baselineList []string
+
+func (b *baselineList) String() string     { return fmt.Sprint(*b) }
+func (b *baselineList) Set(s string) error { *b = append(*b, s); return nil }
+
+type gate struct {
+	ktpsTol  float64 // relative throughput slack (lower bound)
+	allocTol float64 // absolute allocs/op slack (upper bound)
+	memTol   float64 // relative memory-footprint slack (upper bound)
+	compared int
+	failed   int
+}
+
+func (g *gate) lowerBound(what string, fresh, base float64) {
+	g.compared++
+	floor := base * (1 - g.ktpsTol)
+	if fresh < floor {
+		g.failed++
+		fmt.Printf("FAIL %-52s fresh %.2f < floor %.2f (baseline %.2f, -%.0f%%)\n",
+			what, fresh, floor, base, g.ktpsTol*100)
+		return
+	}
+	fmt.Printf("ok   %-52s fresh %.2f >= floor %.2f (baseline %.2f)\n", what, fresh, floor, base)
+}
+
+func (g *gate) upperBoundAbs(what string, fresh, base, slack float64) {
+	g.compared++
+	ceil := base + slack
+	if fresh > ceil {
+		g.failed++
+		fmt.Printf("FAIL %-52s fresh %.3f > ceil %.3f (baseline %.3f, +%.2f)\n",
+			what, fresh, ceil, base, slack)
+		return
+	}
+	fmt.Printf("ok   %-52s fresh %.3f <= ceil %.3f (baseline %.3f)\n", what, fresh, ceil, base)
+}
+
+func (g *gate) upperBoundRel(what string, fresh, base float64) {
+	g.compared++
+	ceil := base * (1 + g.memTol)
+	if fresh > ceil {
+		g.failed++
+		fmt.Printf("FAIL %-52s fresh %.0f > ceil %.0f (baseline %.0f, +%.0f%%)\n",
+			what, fresh, ceil, base, g.memTol*100)
+		return
+	}
+	fmt.Printf("ok   %-52s fresh %.0f <= ceil %.0f (baseline %.0f)\n", what, fresh, ceil, base)
+}
+
+func (g *gate) comparePipeline(name string, fresh, base []pipelineCell) {
+	type key struct {
+		t    string
+		d, s int
+	}
+	idx := make(map[key]pipelineCell, len(fresh))
+	for _, c := range fresh {
+		idx[key{c.Transport, c.Depth, c.ValueSize}] = c
+	}
+	for _, b := range base {
+		f, ok := idx[key{b.Transport, b.Depth, b.ValueSize}]
+		if !ok {
+			continue
+		}
+		cell := fmt.Sprintf("%s pipeline %s d=%d %dB", name, b.Transport, b.Depth, b.ValueSize)
+		if f.KTPS != nil && b.KTPS != nil {
+			g.lowerBound(cell+" ktps", *f.KTPS, *b.KTPS)
+		}
+		if f.AllocsPerOp != nil && b.AllocsPerOp != nil {
+			g.upperBoundAbs(cell+" allocs/op", *f.AllocsPerOp, *b.AllocsPerOp, g.allocTol)
+		}
+	}
+}
+
+func (g *gate) compareScaling(name string, fresh, base []scalingCell) {
+	type key struct {
+		w, s, c int
+		mix     string
+	}
+	idx := make(map[key]scalingCell, len(fresh))
+	for _, c := range fresh {
+		idx[key{c.Workers, c.Stripes, c.Clients, c.Mix}] = c
+	}
+	for _, b := range base {
+		f, ok := idx[key{b.Workers, b.Stripes, b.Clients, b.Mix}]
+		if !ok || f.KTPS == nil || b.KTPS == nil {
+			continue
+		}
+		g.lowerBound(fmt.Sprintf("%s scaling w=%d s=%d %s ktps", name, b.Workers, b.Stripes, b.Mix),
+			*f.KTPS, *b.KTPS)
+	}
+}
+
+func (g *gate) compareConnScale(name string, fresh, base *connScale) {
+	fm := make(map[string]connScaleModel, len(fresh.Models))
+	for _, m := range fresh.Models {
+		fm[m.Mode] = m
+	}
+	for _, b := range base.Models {
+		f, ok := fm[b.Mode]
+		if !ok {
+			continue
+		}
+		cell := fmt.Sprintf("%s connscale %s", name, b.Mode)
+		if f.FixedBytes != nil && b.FixedBytes != nil {
+			g.upperBoundRel(cell+" fixed_bytes", *f.FixedBytes, *b.FixedBytes)
+		}
+		if f.SlopeBytesPerClient != nil && b.SlopeBytesPerClient != nil {
+			g.upperBoundRel(cell+" slope_bytes", *f.SlopeBytesPerClient, *b.SlopeBytesPerClient)
+		}
+	}
+	type pkey struct {
+		mode string
+		n    int
+	}
+	fp := make(map[pkey]connScalePoint, len(fresh.Points))
+	for _, p := range fresh.Points {
+		if p.Measured {
+			fp[pkey{p.Mode, p.Clients}] = p
+		}
+	}
+	for _, b := range base.Points {
+		f, ok := fp[pkey{b.Mode, b.Clients}]
+		if !ok || !b.Measured || f.ServerRecvBytes == nil || b.ServerRecvBytes == nil {
+			continue
+		}
+		g.upperBoundRel(fmt.Sprintf("%s connscale %s n=%d recv_bytes", name, b.Mode, b.Clients),
+			*f.ServerRecvBytes, *b.ServerRecvBytes)
+	}
+	if fresh.TPSClients == base.TPSClients && fresh.TPSClients > 0 {
+		for mode, bv := range base.TPS {
+			if fv, ok := fresh.TPS[mode]; ok {
+				g.lowerBound(fmt.Sprintf("%s connscale %s tps@%d", name, mode, base.TPSClients), fv, bv)
+			}
+		}
+	}
+}
+
+func main() {
+	var (
+		baselines baselineList
+		freshPath = flag.String("fresh", "-", "fresh mcbench -json report ('-' = stdin)")
+		ktpsTol   = flag.Float64("ktps-tol", 0.10, "relative throughput tolerance: fail when fresh ktps < baseline*(1-tol)")
+		allocTol  = flag.Float64("alloc-tol", 0.9, "absolute allocs/op tolerance: fail when fresh > baseline+tol (sub-1 so one added per-op allocation always fails; amortized pool-growth noise between -ops settings stays under ~0.8)")
+		memTol    = flag.Float64("mem-tol", 0.10, "relative memory tolerance: fail when fresh bytes > baseline*(1+tol)")
+	)
+	flag.Var(&baselines, "baseline", "baseline BENCH_*.json to gate against (repeatable)")
+	flag.Parse()
+
+	if len(baselines) == 0 {
+		fmt.Fprintln(os.Stderr, "mcgate: at least one -baseline required")
+		os.Exit(2)
+	}
+
+	var freshData []byte
+	var err error
+	if *freshPath == "-" {
+		freshData, err = io.ReadAll(os.Stdin)
+	} else {
+		freshData, err = os.ReadFile(*freshPath)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcgate: fresh report: %v\n", err)
+		os.Exit(2)
+	}
+	var fresh report
+	if err := json.Unmarshal(freshData, &fresh); err != nil {
+		fmt.Fprintf(os.Stderr, "mcgate: fresh report: %v\n", err)
+		os.Exit(2)
+	}
+
+	g := &gate{ktpsTol: *ktpsTol, allocTol: *allocTol, memTol: *memTol}
+	for _, path := range baselines {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcgate: %v\n", err)
+			os.Exit(2)
+		}
+		var base report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "mcgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		if len(base.Pipeline) > 0 {
+			g.comparePipeline(path, fresh.Pipeline, base.Pipeline)
+		}
+		if len(base.Scaling) > 0 {
+			g.compareScaling(path, fresh.Scaling, base.Scaling)
+		}
+		if base.ConnScale != nil && fresh.ConnScale != nil {
+			g.compareConnScale(path, fresh.ConnScale, base.ConnScale)
+		}
+	}
+
+	if g.compared == 0 {
+		// A gate that matched nothing gates nothing: fail loudly instead
+		// of rubber-stamping a run whose axes drifted off the baselines.
+		fmt.Fprintln(os.Stderr, "mcgate: no comparable cells between fresh report and baselines")
+		os.Exit(1)
+	}
+	fmt.Printf("mcgate: %d comparisons, %d failed\n", g.compared, g.failed)
+	if g.failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -16,54 +17,89 @@ import (
 // and batch posts/polls at the coalesced rates.
 
 // PipelinePoint is one cell of the depth × transport × size sweep.
+// KTPS and NsPerOp are virtual-time measures (the modeled hardware);
+// AllocsPerOp is a real process-wide malloc count per operation over
+// the measured loop — the perf gate's handle on the serving loop's
+// allocation discipline (0 for the steady-state UCR GET path).
 type PipelinePoint struct {
-	Transport string  `json:"transport"`
-	Depth     int     `json:"depth"`
-	ValueSize int     `json:"value_size"`
-	KTPS      float64 `json:"ktps"`
+	Transport   string  `json:"transport"`
+	Depth       int     `json:"depth"`
+	ValueSize   int     `json:"value_size"`
+	KTPS        float64 `json:"ktps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // pipelinePoint measures closed-loop Get throughput on one connection
 // at the given window depth: cfg.OpsPerPoint gets are issued through a
 // Pipeline over a pre-populated keyspace, KTPS from the makespan.
-func pipelinePoint(p *cluster.Profile, t cluster.Transport, depth, size int, cfg RunConfig) (float64, error) {
+func pipelinePoint(p *cluster.Profile, t cluster.Transport, depth, size int, cfg RunConfig) (PipelinePoint, error) {
+	pt := PipelinePoint{Transport: string(t), Depth: depth, ValueSize: size}
 	cfg = cfg.withDefaults()
 	d := cluster.New(p, cfg.Deploy)
 	defer d.Close()
 	c, err := d.NewClient(t, mcclient.DefaultBehaviors())
 	if err != nil {
-		return 0, err
+		return pt, err
 	}
 	defer c.Close()
 	w := NewWorkload(cfg.Seed, cfg.KeySpace, size)
 	for _, k := range w.Keys() {
 		if err := c.MC.Set(k, w.Value(), 0, 0); err != nil {
-			return 0, err
+			return pt, err
 		}
 	}
 	pl, ok := c.MC.Transport(0).(mcclient.Pipeliner)
 	if !ok {
-		return 0, fmt.Errorf("bench: transport %s is not pipelinable", t)
+		return pt, fmt.Errorf("bench: transport %s is not pipelinable", t)
 	}
 	pipe := pl.Pipeline(depth)
 	clk := c.Clock
-	start := clk.Now()
+	// Steady-state warmup: two full windows prime the transport's op and
+	// buffer pools, the server's per-worker staging and the reply slabs,
+	// so the measured loop sees only the per-op costs. Without it the
+	// one-time pool growth lands inside the measurement and allocs/op
+	// depends on OpsPerPoint, which would make runs at different -ops
+	// incomparable under the perf gate.
+	warm := make([]*mcclient.GetFuture, 0, 2*depth)
+	for n := 0; n < 2*depth; n++ {
+		warm = append(warm, pipe.StartGet(clk, w.Key()))
+	}
+	if err := pipe.Wait(clk); err != nil {
+		return pt, err
+	}
+	for _, f := range warm {
+		if _, _, _, hit, ferr := f.Wait(clk); ferr != nil || !hit {
+			return pt, fmt.Errorf("bench: pipeline warmup get = (%v, %v)", hit, ferr)
+		}
+	}
 	futures := make([]*mcclient.GetFuture, 0, cfg.OpsPerPoint)
+	start := clk.Now()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	for n := 0; n < cfg.OpsPerPoint; n++ {
 		futures = append(futures, pipe.StartGet(clk, w.Key()))
 	}
 	if err := pipe.Wait(clk); err != nil {
-		return 0, err
+		return pt, err
 	}
 	for _, f := range futures {
 		if _, _, _, hit, ferr := f.Wait(clk); ferr != nil {
-			return 0, ferr
+			return pt, ferr
 		} else if !hit {
-			return 0, fmt.Errorf("bench: pipeline get missed")
+			return pt, fmt.Errorf("bench: pipeline get missed")
 		}
 	}
+	runtime.ReadMemStats(&ms1)
 	makespan := clk.Now() - start
-	return float64(cfg.OpsPerPoint) / makespan.Seconds() / 1e3, nil
+	pt.KTPS = float64(cfg.OpsPerPoint) / makespan.Seconds() / 1e3
+	pt.NsPerOp = float64(makespan) / float64(cfg.OpsPerPoint)
+	// Mallocs is cumulative and process-wide, so this delta includes the
+	// in-process server's workers — exactly the surface the gate guards.
+	// The futures slice itself and its growth are the loop's own fixed
+	// bookkeeping; they amortize toward 0 with OpsPerPoint.
+	pt.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.OpsPerPoint)
+	return pt, nil
 }
 
 // PipelineSweep measures pipelinePoint for every (transport, depth,
@@ -73,13 +109,11 @@ func PipelineSweep(p *cluster.Profile, transports []cluster.Transport, depths, s
 	for _, size := range sizes {
 		for _, t := range transports {
 			for _, depth := range depths {
-				ktps, err := pipelinePoint(p, t, depth, size, cfg)
+				pt, err := pipelinePoint(p, t, depth, size, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("bench: pipeline %s depth=%d size=%d: %w", t, depth, size, err)
 				}
-				out = append(out, PipelinePoint{
-					Transport: string(t), Depth: depth, ValueSize: size, KTPS: ktps,
-				})
+				out = append(out, pt)
 			}
 		}
 	}

@@ -34,6 +34,11 @@ type Options struct {
 	// below when zero).
 	DispatchCost simnet.Duration
 	OpCost       simnet.Duration
+	// CoalescedOpCost overrides the reduced per-op software cost the
+	// server pays for 2nd..Nth requests served inside one batched CQ
+	// drain (defaults amortize only the fixed dispatch slice; see
+	// memcached.ServerConfig.CoalescedOpCost).
+	CoalescedOpCost simnet.Duration
 	// UCREvents switches the server's UCR completion detection from
 	// polling to interrupt-style events (ablation).
 	UCREvents bool
@@ -222,8 +227,9 @@ func New(p *Profile, opts Options) *Deployment {
 				MemoryLimit: opts.MemoryLimit,
 				Stripes:     opts.Stripes,
 			},
-			DispatchCost: opts.DispatchCost,
-			OpCost:       opts.OpCost,
+			DispatchCost:    opts.DispatchCost,
+			OpCost:          opts.OpCost,
+			CoalescedOpCost: opts.CoalescedOpCost,
 			// Lock-held copies run at the cluster's memory pack rate.
 			CopyBytesPerSec: p.UCR.PackBytesPerSec,
 			UCREvents:       opts.UCREvents,

@@ -13,7 +13,7 @@ import (
 //
 //	go test -bench 'UCRGet' -benchmem ./internal/mcclient/
 
-func benchStack(b *testing.B) (*UCRTransport, *simnet.VClock) {
+func benchStack(b testing.TB) (*UCRTransport, *simnet.VClock) {
 	st := newStack(b)
 	tr, _ := st.ucrClient(b)
 	b.Cleanup(tr.Close)

@@ -137,8 +137,15 @@ func (p *ucrPipeline) Window() int { return p.window }
 // a full window would batch-synchronize the pipe (drain all, then
 // repost all, wire idle in between); half-window bursts keep at least
 // window/2 requests on the wire through the refill while still
-// coalescing doorbells.
+// coalescing doorbells — and arriving in bursts is what lets the
+// server's batched CQ drain engage its coalesced costs. Queued sends
+// are additionally flushed before blocking for window room: holding
+// them through a wait would drain the wire exactly when it most needs
+// feeding and degrade serving to a per-window relay.
 func (p *ucrPipeline) push(clk *simnet.VClock, e *pipeOp) {
+	if len(p.q) >= p.window && len(p.pend) > 0 {
+		p.Flush(clk)
+	}
 	for len(p.q) >= p.window {
 		p.waitFor(clk, p.q[0])
 	}
@@ -161,7 +168,7 @@ func (p *ucrPipeline) Flush(clk *simnet.VClock) error {
 	var sendErr error
 	for _, e := range p.pend {
 		if sendErr == nil {
-			sendErr = e.op.send()
+			sendErr = e.op.sendAM()
 		}
 		if sendErr != nil {
 			e.failed = true

@@ -85,7 +85,7 @@ func (m *SessionMux) doShared(clk *simnet.VClock, build func(t *UCRTransport) *a
 	t := m.t
 	m.mu.Lock()
 	op := build(t)
-	sendErr := op.send()
+	sendErr := op.sendAM()
 	m.mu.Unlock()
 	if sendErr != nil {
 		m.retire(op)
@@ -121,7 +121,7 @@ func (m *SessionMux) doShared(clk *simnet.VClock, build func(t *UCRTransport) *a
 		}
 		if a+1 < attempts {
 			m.mu.Lock()
-			sendErr = op.send()
+			sendErr = op.sendAM()
 			m.mu.Unlock()
 			if sendErr != nil {
 				m.retire(op)

@@ -69,7 +69,25 @@ type amOp struct {
 	mget   memcached.MGetReply
 	num    memcached.NumReply
 	osd    memcached.OSDescReply
-	send   func() error
+	send   func() error // exotic issue paths; nil = field-driven sendAM
+	// Field-driven send for the hot GET/SET paths: a closure per op
+	// would allocate, so the blocking fast paths park the arguments on
+	// the (pooled) op instead and sendAM replays them. hdrBuf is the
+	// reusable header-encode buffer; it survives pool recycling.
+	sendMsg uint8
+	sendHdr []byte
+	sendVal []byte
+	sendClk *simnet.VClock
+	hdrBuf  []byte
+}
+
+// sendAM issues the op: the closure when one was installed, otherwise
+// the field-driven form (endpoint, message id, header, value).
+func (op *amOp) sendAM() error {
+	if op.send != nil {
+		return op.send()
+	}
+	return op.ep.Send(op.sendClk, op.sendMsg, op.sendHdr, op.sendVal, nil, 0, nil)
 }
 
 // DialUCR establishes a reliable UCR endpoint to a memcached server and
@@ -295,7 +313,9 @@ func (t *UCRTransport) newOp() *amOp {
 	if k := len(t.freeOps); k > 0 {
 		op = t.freeOps[k-1]
 		t.freeOps = t.freeOps[:k-1]
+		hdr := op.hdrBuf
 		*op = amOp{}
+		op.hdrBuf = hdr[:0]
 	} else {
 		op = &amOp{}
 	}
@@ -315,7 +335,9 @@ func (t *UCRTransport) finishOp(op *amOp) {
 	if op.pooled {
 		t.recycleBuf(op.data)
 	}
+	hdr := op.hdrBuf
 	*op = amOp{}
+	op.hdrBuf = hdr[:0]
 	t.freeOps = append(t.freeOps, op)
 }
 
@@ -362,7 +384,7 @@ func (t *UCRTransport) do(clk *simnet.VClock, op *amOp) error {
 			// the reply; a late duplicate lands in scratch).
 			t.udRetransmits++
 		}
-		if err := op.send(); err != nil {
+		if err := op.sendAM(); err != nil {
 			t.finishOp(op)
 			return ErrServerDown
 		}
@@ -418,7 +440,7 @@ func (t *UCRTransport) waitDone(clk *simnet.VClock, op *amOp, batch int) error {
 			if op.ep == t.udEP && t.udEP != nil {
 				t.udRetransmits++
 			}
-			if serr := op.send(); serr != nil {
+			if serr := op.sendAM(); serr != nil {
 				return ErrServerDown
 			}
 		}
@@ -448,12 +470,13 @@ func (t *UCRTransport) Set(clk *simnet.VClock, key string, flags uint32, exptime
 		return memcached.Stored, nil
 	}
 	op := t.newOp()
-	hdr := memcached.EncodeSetReq(memcached.SetReq{
+	op.hdrBuf = memcached.AppendSetReq(op.hdrBuf[:0], memcached.SetReq{
 		ReplyCtr: op.tag, Flags: flags, Exptime: exptime, Key: key,
 	})
-	op.send = func() error {
-		return t.ep.Send(clk, memcached.AMSet, hdr, value, nil, 0, nil)
-	}
+	op.sendMsg = memcached.AMSet
+	op.sendHdr = op.hdrBuf
+	op.sendVal = value
+	op.sendClk = clk
 	if err := t.do(clk, op); err != nil {
 		return 0, err
 	}
@@ -474,11 +497,11 @@ func (t *UCRTransport) getOp(clk *simnet.VClock, key string, lend []byte) (*amOp
 		op := t.newOp()
 		op.lend = lend
 		op.ep = t.udEP
-		hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
-		if len(hdr) <= t.udEP.MaxEager() {
-			op.send = func() error {
-				return t.udEP.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
-			}
+		op.hdrBuf = memcached.AppendKeyReq(op.hdrBuf[:0], memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+		if len(op.hdrBuf) <= t.udEP.MaxEager() {
+			op.sendMsg = memcached.AMGet
+			op.sendHdr = op.hdrBuf
+			op.sendClk = clk
 			t.udGets++
 			err := t.do(clk, op)
 			if err == nil && op.get.Status != memcached.AMTooBig {
@@ -497,10 +520,10 @@ func (t *UCRTransport) getOp(clk *simnet.VClock, key string, lend []byte) (*amOp
 	}
 	op := t.newOp()
 	op.lend = lend
-	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
-	op.send = func() error {
-		return t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
-	}
+	op.hdrBuf = memcached.AppendKeyReq(op.hdrBuf[:0], memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+	op.sendMsg = memcached.AMGet
+	op.sendHdr = op.hdrBuf
+	op.sendClk = clk
 	if err := t.do(clk, op); err != nil {
 		return nil, err
 	}

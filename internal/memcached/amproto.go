@@ -62,6 +62,44 @@ func EncodeSetReq(r SetReq) []byte {
 	return b
 }
 
+// AppendSetReq packs the header onto dst (the alloc-free form: callers
+// bring a pooled buffer).
+func AppendSetReq(dst []byte, r SetReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(r.ReplyCtr))
+	dst = le.AppendUint32(dst, r.Flags)
+	dst = le.AppendUint64(dst, uint64(r.Exptime))
+	dst = le.AppendUint16(dst, uint16(len(r.Key)))
+	return append(dst, r.Key...)
+}
+
+// SetReqView is a Set header decoded in place: Key aliases the wire
+// buffer and is valid only until the receive buffer is recycled.
+type SetReqView struct {
+	ReplyCtr ucr.CounterID
+	Flags    uint32
+	Exptime  int64
+	Key      []byte
+}
+
+// DecodeSetReqView unpacks the header without copying the key.
+func DecodeSetReqView(b []byte) (SetReqView, error) {
+	if len(b) < 22 {
+		return SetReqView{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[20:]))
+	if len(b) < 22+kl {
+		return SetReqView{}, ErrShortAMHeader
+	}
+	return SetReqView{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Flags:    le.Uint32(b[8:]),
+		Exptime:  int64(le.Uint64(b[12:])),
+		Key:      b[22 : 22+kl],
+	}, nil
+}
+
 // DecodeSetReq unpacks the header.
 func DecodeSetReq(b []byte) (SetReq, error) {
 	if len(b) < 22 {
@@ -94,6 +132,37 @@ func EncodeKeyReq(r KeyReq) []byte {
 	le.PutUint16(b[8:], uint16(len(r.Key)))
 	copy(b[10:], r.Key)
 	return b
+}
+
+// AppendKeyReq packs the header onto dst.
+func AppendKeyReq(dst []byte, r KeyReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(r.ReplyCtr))
+	dst = le.AppendUint16(dst, uint16(len(r.Key)))
+	return append(dst, r.Key...)
+}
+
+// KeyReqView is a Get/Delete header decoded in place: Key aliases the
+// wire buffer.
+type KeyReqView struct {
+	ReplyCtr ucr.CounterID
+	Key      []byte
+}
+
+// DecodeKeyReqView unpacks the header without copying the key.
+func DecodeKeyReqView(b []byte) (KeyReqView, error) {
+	if len(b) < 10 {
+		return KeyReqView{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[8:]))
+	if len(b) < 10+kl {
+		return KeyReqView{}, ErrShortAMHeader
+	}
+	return KeyReqView{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Key:      b[10 : 10+kl],
+	}, nil
 }
 
 // DecodeKeyReq unpacks the header.
@@ -130,6 +199,15 @@ func EncodeNumReq(r NumReq) []byte {
 	return b
 }
 
+// AppendNumReq packs the header onto dst.
+func AppendNumReq(dst []byte, r NumReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(r.ReplyCtr))
+	dst = le.AppendUint64(dst, r.Delta)
+	dst = le.AppendUint16(dst, uint16(len(r.Key)))
+	return append(dst, r.Key...)
+}
+
 // DecodeNumReq unpacks the header.
 func DecodeNumReq(b []byte) (NumReq, error) {
 	if len(b) < 18 {
@@ -156,6 +234,11 @@ type StatusReply struct {
 // EncodeStatusReply packs the header.
 func EncodeStatusReply(r StatusReply) []byte {
 	return []byte{r.Status, byte(r.Result)}
+}
+
+// AppendStatusReply packs the header onto dst.
+func AppendStatusReply(dst []byte, r StatusReply) []byte {
+	return append(dst, r.Status, byte(r.Result))
 }
 
 // DecodeStatusReply unpacks the header.
@@ -187,6 +270,14 @@ func EncodeGetReply(r GetReply) []byte {
 	return b
 }
 
+// AppendGetReply packs the header onto dst.
+func AppendGetReply(dst []byte, r GetReply) []byte {
+	le := binary.LittleEndian
+	dst = append(dst, r.Status)
+	dst = le.AppendUint32(dst, r.Flags)
+	return le.AppendUint64(dst, r.CAS)
+}
+
 // DecodeGetReply unpacks the header.
 func DecodeGetReply(b []byte) (GetReply, error) {
 	if len(b) < 13 {
@@ -208,6 +299,12 @@ func EncodeNumReply(r NumReply) []byte {
 	b[0] = r.Status
 	binary.LittleEndian.PutUint64(b[1:], r.Value)
 	return b
+}
+
+// AppendNumReply packs the header onto dst.
+func AppendNumReply(dst []byte, r NumReply) []byte {
+	dst = append(dst, r.Status)
+	return binary.LittleEndian.AppendUint64(dst, r.Value)
 }
 
 // DecodeNumReply unpacks the header.

@@ -72,6 +72,57 @@ func DecodeMGetReq(b []byte) (MGetReq, error) {
 	return r, nil
 }
 
+// AppendMGetReq packs the header onto dst.
+func AppendMGetReq(dst []byte, ctr ucr.CounterID, keys []string) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(ctr))
+	dst = le.AppendUint16(dst, uint16(len(keys)))
+	for _, k := range keys {
+		dst = le.AppendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// MGetKeyCursor walks an encoded multi-get batch in place: each key it
+// yields aliases the wire buffer, so the server can look keys up
+// straight out of the receive buffer.
+type MGetKeyCursor struct {
+	b    []byte
+	off  int
+	n, i int
+}
+
+// NewMGetKeyCursor opens a cursor over an encoded MGetReq.
+func NewMGetKeyCursor(b []byte) (ucr.CounterID, MGetKeyCursor, error) {
+	if len(b) < 10 {
+		return 0, MGetKeyCursor{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	return ucr.CounterID(le.Uint64(b)), MGetKeyCursor{
+		b: b, off: 10, n: int(le.Uint16(b[8:])),
+	}, nil
+}
+
+// Len reports the batch's key count.
+func (c *MGetKeyCursor) Len() int { return c.n }
+
+// Next yields the next key, or ok=false at the end (or on truncation).
+func (c *MGetKeyCursor) Next() (key []byte, ok bool) {
+	if c.i >= c.n || c.off+2 > len(c.b) {
+		return nil, false
+	}
+	kl := int(binary.LittleEndian.Uint16(c.b[c.off:]))
+	c.off += 2
+	if c.off+kl > len(c.b) {
+		return nil, false
+	}
+	key = c.b[c.off : c.off+kl]
+	c.off += kl
+	c.i++
+	return key, true
+}
+
 // MGetItem describes one found item in a multi-get reply; its value is
 // a slice of the reply's concatenated data block.
 type MGetItem struct {
@@ -107,6 +158,70 @@ func EncodeMGetReply(r MGetReply) []byte {
 		off += copy(b[off:], it.Key)
 	}
 	return b
+}
+
+// BeginMGetReply starts an append-encoded reply header in dst with a
+// zero item count; AppendMGetReplyItem adds items and FinishMGetReply
+// patches the count, so a server can build the header in one pass
+// without knowing how many keys will hit.
+func BeginMGetReply(dst []byte) []byte {
+	return append(dst, 0, 0)
+}
+
+// AppendMGetReplyItem packs one found item onto an open reply header.
+// key aliases wire or slab memory; it is copied into dst here.
+func AppendMGetReplyItem(dst []byte, key []byte, flags uint32, cas uint64, valueLen int) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint16(dst, uint16(len(key)))
+	dst = le.AppendUint32(dst, flags)
+	dst = le.AppendUint64(dst, cas)
+	dst = le.AppendUint32(dst, uint32(valueLen))
+	return append(dst, key...)
+}
+
+// FinishMGetReply patches the item count into a header started at
+// start (the offset BeginMGetReply was called at).
+func FinishMGetReply(b []byte, start, nitems int) {
+	binary.LittleEndian.PutUint16(b[start:], uint16(nitems))
+}
+
+// MGetReplyCursor walks an encoded multi-get reply header in place; the
+// keys it yields alias the wire buffer.
+type MGetReplyCursor struct {
+	b    []byte
+	off  int
+	n, i int
+}
+
+// NewMGetReplyCursor opens a cursor over an encoded MGetReply header.
+func NewMGetReplyCursor(b []byte) (MGetReplyCursor, error) {
+	if len(b) < 2 {
+		return MGetReplyCursor{}, ErrShortAMHeader
+	}
+	return MGetReplyCursor{b: b, off: 2, n: int(binary.LittleEndian.Uint16(b))}, nil
+}
+
+// Len reports the reply's item count.
+func (c *MGetReplyCursor) Len() int { return c.n }
+
+// Next yields the next item's metadata, or ok=false at the end.
+func (c *MGetReplyCursor) Next() (key []byte, flags uint32, cas uint64, valueLen int, ok bool) {
+	if c.i >= c.n || c.off+18 > len(c.b) {
+		return nil, 0, 0, 0, false
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(c.b[c.off:]))
+	flags = le.Uint32(c.b[c.off+2:])
+	cas = le.Uint64(c.b[c.off+6:])
+	valueLen = int(le.Uint32(c.b[c.off+14:]))
+	c.off += 18
+	if c.off+kl > len(c.b) {
+		return nil, 0, 0, 0, false
+	}
+	key = c.b[c.off : c.off+kl]
+	c.off += kl
+	c.i++
+	return key, flags, cas, valueLen, true
 }
 
 // DecodeMGetReply unpacks the header.

@@ -50,6 +50,49 @@ func EncodeStoreReq(r StoreReq) []byte {
 	return b
 }
 
+// AppendStoreReq packs the header onto dst.
+func AppendStoreReq(dst []byte, r StoreReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(r.ReplyCtr))
+	dst = append(dst, r.Op)
+	dst = le.AppendUint32(dst, r.Flags)
+	dst = le.AppendUint64(dst, uint64(r.Exptime))
+	dst = le.AppendUint64(dst, r.CAS)
+	dst = le.AppendUint16(dst, uint16(len(r.Key)))
+	return append(dst, r.Key...)
+}
+
+// StoreReqView is a conditional-store header decoded in place: Key
+// aliases the wire buffer.
+type StoreReqView struct {
+	ReplyCtr ucr.CounterID
+	Op       uint8
+	Flags    uint32
+	Exptime  int64
+	CAS      uint64
+	Key      []byte
+}
+
+// DecodeStoreReqView unpacks the header without copying the key.
+func DecodeStoreReqView(b []byte) (StoreReqView, error) {
+	if len(b) < 31 {
+		return StoreReqView{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[29:]))
+	if len(b) < 31+kl {
+		return StoreReqView{}, ErrShortAMHeader
+	}
+	return StoreReqView{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Op:       b[8],
+		Flags:    le.Uint32(b[9:]),
+		Exptime:  int64(le.Uint64(b[13:])),
+		CAS:      le.Uint64(b[21:]),
+		Key:      b[31 : 31+kl],
+	}, nil
+}
+
 // DecodeStoreReq unpacks the header.
 func DecodeStoreReq(b []byte) (StoreReq, error) {
 	if len(b) < 31 {

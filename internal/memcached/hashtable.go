@@ -33,6 +33,18 @@ func hashKey(key string) uint64 {
 	return h
 }
 
+// hashKeyBytes is hashKey for a []byte key (same function, no
+// conversion), so wire-decoded keys can be looked up without building a
+// string.
+func hashKeyBytes(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
 // Len reports linked items.
 func (t *hashTable) Len() int { return t.count }
 
@@ -62,6 +74,21 @@ func (t *hashTable) Get(key string) *Item {
 	tbl, idx := t.bucketFor(h)
 	for it := tbl[idx]; it != nil; it = it.hnext {
 		if it.key == key {
+			return it
+		}
+	}
+	return nil
+}
+
+// GetBytes is Get for a wire-decoded []byte key. The string conversion
+// in the comparison does not allocate (the compiler compares in place),
+// so the AM hot path can look keys up straight out of receive buffers.
+func (t *hashTable) GetBytes(key []byte) *Item {
+	t.migrate()
+	h := hashKeyBytes(key)
+	tbl, idx := t.bucketFor(h)
+	for it := tbl[idx]; it != nil; it = it.hnext {
+		if it.key == string(key) {
 			return it
 		}
 	}

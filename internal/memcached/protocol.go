@@ -28,6 +28,14 @@ type ProtoConn struct {
 	// lock accounting — the default for raw uses of ProtoConn.
 	opCost   simnet.Duration
 	copyRate float64
+
+	// Per-connection staging buffers, reused across commands so a burst
+	// of pipelined requests re-grows nothing. Both the stream writer and
+	// the store copy out of them before the next command runs, so reuse
+	// is safe; retention is capped at scratchMax (one oversized request
+	// must not pin a large buffer for the connection's lifetime).
+	replyBuf []byte // reply line / multi-get response staging
+	valBuf   []byte // inbound store-value staging
 }
 
 // NewProtoConn wraps a stream.
@@ -145,7 +153,7 @@ func (pc *ProtoConn) cmdGet(fields []string, clk *simnet.VClock) error {
 			return pc.reply("CLIENT_ERROR bad command line format\r\n")
 		}
 	}
-	var sb []byte
+	sb := pc.replyBuf[:0]
 	cursor := clk.Now()
 	for _, key := range fields[1:] {
 		value, flags, cas, ok := pc.store.Get(key, clk.Now())
@@ -154,17 +162,35 @@ func (pc *ProtoConn) cmdGet(fields []string, clk *simnet.VClock) error {
 		if !ok {
 			continue
 		}
+		sb = append(sb, "VALUE "...)
+		sb = append(sb, key...)
+		sb = append(sb, ' ')
+		sb = strconv.AppendUint(sb, uint64(flags), 10)
+		sb = append(sb, ' ')
+		sb = strconv.AppendInt(sb, int64(len(value)), 10)
 		if withCAS {
-			sb = append(sb, fmt.Sprintf("VALUE %s %d %d %d\r\n", key, flags, len(value), cas)...)
-		} else {
-			sb = append(sb, fmt.Sprintf("VALUE %s %d %d\r\n", key, flags, len(value))...)
+			sb = append(sb, ' ')
+			sb = strconv.AppendUint(sb, cas, 10)
 		}
+		sb = append(sb, '\r', '\n')
 		sb = append(sb, value...)
 		sb = append(sb, '\r', '\n')
 	}
 	sb = append(sb, "END\r\n"...)
 	_, err := pc.w.Write(sb)
+	pc.retainReply(sb)
 	return err
+}
+
+// retainReply keeps sb as the connection's reply staging buffer for the
+// next command, unless a large response grew it past scratchMax — the
+// writer has copied the bytes out, so only the capacity matters.
+func (pc *ProtoConn) retainReply(sb []byte) {
+	if cap(sb) <= scratchMax {
+		pc.replyBuf = sb[:0]
+	} else {
+		pc.replyBuf = nil
+	}
 }
 
 func (pc *ProtoConn) cmdStore(fields []string, clk *simnet.VClock) error {
@@ -206,12 +232,15 @@ func (pc *ProtoConn) cmdStore(fields []string, clk *simnet.VClock) error {
 		}
 		return pc.reply(TooLarge.String() + "\r\n")
 	}
-	value := make([]byte, nbytes)
+	// Stage the inbound value in the connection's reusable buffer: the
+	// store copies it into slab memory before the next command runs. An
+	// oversized value gets a one-off buffer that is not retained.
+	value := pooledBuf(&pc.valBuf, nbytes)
 	if _, err := io.ReadFull(pc.r, value); err != nil {
 		return err
 	}
-	crlf := make([]byte, 2)
-	if _, err := io.ReadFull(pc.r, crlf); err != nil {
+	var crlf [2]byte
+	if _, err := io.ReadFull(pc.r, crlf[:]); err != nil {
 		return err
 	}
 	if crlf[0] != '\r' || crlf[1] != '\n' {

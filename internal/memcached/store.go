@@ -92,6 +92,36 @@ type shard struct {
 	lru         *lruTable
 	flushBefore simnet.Time
 	stats       shardCounters
+
+	// freeItems recycles Item structs (under mu), so steady-state
+	// set/delete churn does not allocate one header per store. Items are
+	// pooled only where their chunk is freed — never while linked or
+	// pinned.
+	freeItems []*Item
+}
+
+// maxItemPool bounds each shard's retained Item-struct pool.
+const maxItemPool = 256
+
+// getItem pops a recycled Item (or allocates one). Caller holds sh.mu.
+func (sh *shard) getItem() *Item {
+	if n := len(sh.freeItems); n > 0 {
+		it := sh.freeItems[n-1]
+		sh.freeItems[n-1] = nil
+		sh.freeItems = sh.freeItems[:n-1]
+		return it
+	}
+	return &Item{}
+}
+
+// putItem recycles an unlinked, unpinned Item whose chunk has been
+// freed. Caller holds sh.mu.
+func (sh *shard) putItem(it *Item) {
+	if len(sh.freeItems) >= maxItemPool {
+		return
+	}
+	*it = Item{}
+	sh.freeItems = append(sh.freeItems, it)
 }
 
 // Store is the cache engine: a shared slab arena plus N lock-striped
@@ -177,6 +207,12 @@ func (s *Store) shardFor(key string) *shard {
 	return s.shards[(h>>32)&s.shardMask]
 }
 
+// shardForBytes is shardFor over a wire-decoded []byte key.
+func (s *Store) shardForBytes(key []byte) *shard {
+	h := hashKeyBytes(key) * 0x9e3779b97f4a7c15
+	return s.shards[(h>>32)&s.shardMask]
+}
+
 // LockWait models taking the key's shard lock at now for hold: the
 // acquisition is queued on the shard's resource behind other workers'
 // in-flight holds, and the returned wait is the queueing delay the
@@ -186,6 +222,13 @@ func (s *Store) shardFor(key string) *shard {
 // untouched stripes) return 0, leaving those runs bit-identical.
 func (s *Store) LockWait(key string, now simnet.Time, hold simnet.Duration) simnet.Duration {
 	sh := s.shardFor(key)
+	start := sh.res.Acquire(now, hold)
+	return simnet.Duration(start - now)
+}
+
+// LockWaitBytes is LockWait for a wire-decoded []byte key.
+func (s *Store) LockWaitBytes(key []byte, now simnet.Time, hold simnet.Duration) simnet.Duration {
+	sh := s.shardForBytes(key)
 	start := sh.res.Acquire(now, hold)
 	return simnet.Duration(start - now)
 }
@@ -216,7 +259,16 @@ func expiryTime(exptime int64, now simnet.Time) simnet.Time {
 
 // lookupLocked finds a live item, lazily reaping an expired one.
 func (s *Store) lookupLocked(sh *shard, key string, now simnet.Time) *Item {
-	it := sh.table.Get(key)
+	return s.liveItem(sh, sh.table.Get(key), now)
+}
+
+// lookupLockedBytes is lookupLocked for a wire-decoded []byte key.
+func (s *Store) lookupLockedBytes(sh *shard, key []byte, now simnet.Time) *Item {
+	return s.liveItem(sh, sh.table.GetBytes(key), now)
+}
+
+// liveItem applies lazy expiry to a table hit.
+func (s *Store) liveItem(sh *shard, it *Item, now simnet.Time) *Item {
 	if it == nil {
 		return nil
 	}
@@ -245,6 +297,7 @@ func (s *Store) unlinkLocked(sh *shard, it *Item) {
 	sub(&sh.stats.currItems, 1)
 	if !it.pinned() {
 		s.arena.Free(it.chunk)
+		sh.putItem(it)
 	}
 }
 
@@ -289,16 +342,15 @@ func (s *Store) newItemLocked(sh *shard, key string, flags uint32, exptime int64
 		return nil, res
 	}
 	s.memWr(func() { copy(c.buf, key) })
-	it := &Item{
-		key:        key,
-		value:      c.buf[len(key) : len(key)+valueLen],
-		chunk:      c,
-		flags:      flags,
-		expireAt:   expiryTime(exptime, now),
-		casID:      s.nextCAS.Add(1),
-		setAt:      now,
-		exptimeRaw: exptime,
-	}
+	it := sh.getItem()
+	it.key = key
+	it.value = c.buf[len(key) : len(key)+valueLen]
+	it.chunk = c
+	it.flags = flags
+	it.expireAt = expiryTime(exptime, now)
+	it.casID = s.nextCAS.Add(1)
+	it.setAt = now
+	it.exptimeRaw = exptime
 	return it, Stored
 }
 
@@ -335,6 +387,32 @@ func (s *Store) AllocateItem(key string, flags uint32, exptime int64, valueLen i
 	return it, res
 }
 
+// internKeyLocked resolves the stable string for a wire-decoded key:
+// when the key is already resident (even expired — strings are
+// immutable) its existing string is reused, so steady-state overwrites
+// of a live keyspace never allocate. A first-seen key converts once.
+func internKeyLocked(sh *shard, key []byte) string {
+	if it := sh.table.GetBytes(key); it != nil {
+		return it.key
+	}
+	return string(key)
+}
+
+// AllocateItemBytes is AllocateItem for a wire-decoded []byte key — the
+// UCR hot path's entry, alloc-free for keys already resident.
+func (s *Store) AllocateItemBytes(key []byte, flags uint32, exptime int64, valueLen int, now simnet.Time) (*Item, StoreResult) {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, res := s.newItemLocked(sh, internKeyLocked(sh, key), flags, exptime, valueLen, now)
+	if res == Stored {
+		it.refcount++ // pinned until commit/abort
+	} else if s.rec.Load() != nil {
+		s.recordStore(RecSet, string(key), nil, flags, exptime, 0, nil, res, now)
+	}
+	return it, res
+}
+
 // CommitItem links a previously allocated item.
 func (s *Store) CommitItem(it *Item, now simnet.Time) {
 	sh := s.shardFor(it.key)
@@ -361,6 +439,7 @@ func (s *Store) AbortItem(it *Item) {
 	it.refcount--
 	if !it.pinned() {
 		s.arena.Free(it.chunk)
+		sh.putItem(it)
 	}
 }
 
@@ -448,11 +527,13 @@ func (s *Store) setLocked(sh *shard, key string, flags uint32, exptime int64, va
 }
 
 // releasePin drops a refcount taken inside the lock, freeing the chunk
-// if the item was unlinked (evicted/replaced) while pinned.
-func (s *Store) releasePin(it *Item) {
+// (and recycling the header) if the item was unlinked
+// (evicted/replaced) while pinned.
+func (s *Store) releasePin(sh *shard, it *Item) {
 	it.refcount--
 	if !it.linked && !it.pinned() {
 		s.arena.Free(it.chunk)
+		sh.putItem(it)
 	}
 }
 
@@ -483,7 +564,7 @@ func (s *Store) concatLocked(sh *shard, key string, add []byte, prepend bool, no
 	}
 	it, res := s.newItemLocked(sh, key, old.flags, 0, len(old.value)+len(add), now)
 	if res != Stored {
-		s.releasePin(old)
+		s.releasePin(sh, old)
 		if rc := s.rec.Load(); rc != nil {
 			rc.emit(&OpRecord{
 				Kind: kind, Key: key, Now: now, Res: res,
@@ -505,7 +586,7 @@ func (s *Store) concatLocked(sh *shard, key string, add []byte, prepend bool, no
 			copy(it.value[len(old.value):], add)
 		}
 	})
-	s.releasePin(old)
+	s.releasePin(sh, old)
 	s.linkLocked(sh, it, now)
 	if rc := s.rec.Load(); rc != nil {
 		rc.emit(&OpRecord{
@@ -583,7 +664,29 @@ func (s *Store) Unpin(it *Item) {
 	sh := s.shardFor(it.key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	s.releasePin(it)
+	s.releasePin(sh, it)
+}
+
+// GetPinnedBytes is GetPinned for a wire-decoded []byte key — the UCR
+// hot path's entry, alloc-free end to end.
+func (s *Store) GetPinnedBytes(key []byte, now simnet.Time) (*Item, bool) {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.cmdGet.Add(1)
+	it := s.lookupLockedBytes(sh, key, now)
+	if it == nil {
+		sh.stats.getMisses.Add(1)
+		if s.rec.Load() != nil {
+			s.recordGet(string(key), nil, now)
+		}
+		return nil, false
+	}
+	sh.stats.getHits.Add(1)
+	sh.lru.touch(it)
+	s.recordGet(it.key, it, now)
+	it.refcount++
+	return it, true
 }
 
 // Delete removes key. ok=false is a miss.
@@ -678,7 +781,7 @@ func (s *Store) IncrDecr(key string, delta uint64, incr bool, now simnet.Time) (
 		flags, exp := it.flags, it.expireAt
 		it.refcount++
 		nit, res := s.newItemLocked(sh, key, flags, 0, len(text), now)
-		s.releasePin(it)
+		s.releasePin(sh, it)
 		if res != Stored {
 			if rc := s.rec.Load(); rc != nil {
 				rc.emit(&OpRecord{Kind: kind, Key: key, Now: now, Delta: delta, Hit: true, OOM: true, OldCAS: oldCAS})

@@ -64,6 +64,7 @@ type runOutcome struct {
 	SRQDemux      uint64
 	UDGets        uint64
 	UDRetransmits uint64
+	BatchedDrains uint64
 }
 
 // execute runs a script against a fresh deployment and collects the
@@ -170,6 +171,7 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 	return &runOutcome{
 		Records: recs, Obs: x.obs,
 		SRQDemux: d.Server.UCRSRQDemux(), UDGets: udGets, UDRetransmits: udRetx,
+		BatchedDrains: d.Server.UCRBatchedDrains(),
 	}, nil
 }
 

@@ -21,10 +21,14 @@ type Result struct {
 
 	// Datapath counters for the srq/ud vacuity guards: SRQ demux
 	// decisions on the server, and requests/retransmissions on the
-	// clients' UD endpoints.
+	// clients' UD endpoints. BatchedDrains guards the batch-scheduled
+	// serving loop the same way: a UCR sweep with pipelined bursts
+	// where no worker ever harvested ≥2 completions in one drain was
+	// exercising the old request-at-a-time loop, not the batched one.
 	SRQDemux      uint64
 	UDGets        uint64
 	UDRetransmits uint64
+	BatchedDrains uint64
 }
 
 // Run generates the workload for cfg.Seed, executes it, and checks the
@@ -50,6 +54,7 @@ func RunScript(sc Script, cfg Config) *Result {
 		res.SRQDemux = out.SRQDemux
 		res.UDGets = out.UDGets
 		res.UDRetransmits = out.UDRetransmits
+		res.BatchedDrains = out.BatchedDrains
 	}
 	res.Violation = verdict(out, err, cfg)
 	if res.Violation == nil {

@@ -44,11 +44,20 @@ func TestCleanSeeds(t *testing.T) {
 		t.Skip("store mutations active")
 	}
 	for _, tr := range transports {
+		var batched uint64
 		for seed := uint64(1); seed <= 4; seed++ {
 			res := Run(Config{Transport: tr, Seed: seed, Ops: 150})
 			if res.Violation != nil {
 				t.Errorf("%s seed %d:\n%s", tr, seed, res.Report)
 			}
+			batched += res.BatchedDrains
+		}
+		// Vacuity guard for the batch-scheduled serving loop: the default
+		// mix emits pipelined bursts, so UCR workers must have harvested
+		// ≥2 completions in at least one drain somewhere in the sweep —
+		// zero would mean the checker exercised a request-at-a-time loop.
+		if tr == cluster.UCRIB && batched == 0 {
+			t.Error("UCR sweep with bursts recorded no batched CQ drains (batch path vacuous)")
 		}
 	}
 }

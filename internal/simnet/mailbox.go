@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,11 +15,20 @@ import (
 // The queue is unbounded on purpose: back-pressure in the simulated
 // system is modelled explicitly (verbs receive queues, UCR credits,
 // socket windows), not by accidental blocking of the in-process plumbing.
+//
+// Storage is a head-indexed ring so a steady-state producer/consumer pair
+// never reallocates: the hot serving paths (CQ drains, socket segments)
+// cycle through the same backing array instead of re-growing an
+// append-and-reslice queue.
 type Mailbox[T any] struct {
 	mu     sync.Mutex
-	queue  []T
+	buf    []T // ring storage; len(buf) is the capacity
+	head   int // index of the oldest queued message
+	n      int // queued message count
 	closed bool
-	notify chan struct{} // capacity 1, poked on every state change
+	notify chan struct{}          // capacity 1, poked on every state change
+	hook   atomic.Pointer[func()] // optional, invoked after every poke (see SetNotifyHook)
+	timer  *time.Timer            // pooled deadline timer for RecvTimeout (receiver-owned)
 }
 
 // NewMailbox returns an empty open mailbox.
@@ -31,6 +41,46 @@ func (m *Mailbox[T]) poke() {
 	case m.notify <- struct{}{}:
 	default:
 	}
+	if h := m.hook.Load(); h != nil {
+		(*h)()
+	}
+}
+
+// NotifyC exposes the mailbox's readiness channel so a receiver can park
+// on several event sources at once (select over many mailboxes). The
+// channel holds at most one token; a token means "state changed since you
+// last looked", so after receiving one the owner must drain with TryRecv
+// until empty. Spurious tokens are possible and harmless. Only the single
+// receiver may take from this channel.
+func (m *Mailbox[T]) NotifyC() <-chan struct{} { return m.notify }
+
+// SetNotifyHook installs fn to be called after every poke (Put, PutFront,
+// Close), from the goroutine that caused the state change and outside the
+// mailbox lock. Event-loop owners use it to enqueue "this source is ready"
+// onto their own run queue without dedicating a waker goroutine per
+// source. The installer must immediately re-check the mailbox itself:
+// pokes that happened before installation did not run the hook. fn must
+// be cheap and must not call back into the mailbox.
+func (m *Mailbox[T]) SetNotifyHook(fn func()) {
+	if fn == nil {
+		m.hook.Store(nil)
+		return
+	}
+	m.hook.Store(&fn)
+}
+
+// grow doubles the ring (called with mu held, when full).
+func (m *Mailbox[T]) grow() {
+	newCap := len(m.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < m.n; i++ {
+		nb[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf = nb
+	m.head = 0
 }
 
 // Put appends a message. Putting to a closed mailbox is a silent no-op
@@ -41,7 +91,11 @@ func (m *Mailbox[T]) Put(msg T) {
 		m.mu.Unlock()
 		return
 	}
-	m.queue = append(m.queue, msg)
+	if m.n == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = msg
+	m.n++
 	m.mu.Unlock()
 	m.poke()
 }
@@ -56,7 +110,15 @@ func (m *Mailbox[T]) PutFront(msg T) {
 		m.mu.Unlock()
 		return
 	}
-	m.queue = append([]T{msg}, m.queue...)
+	if m.n == len(m.buf) {
+		m.grow()
+	}
+	m.head--
+	if m.head < 0 {
+		m.head = len(m.buf) - 1
+	}
+	m.buf[m.head] = msg
+	m.n++
 	m.mu.Unlock()
 	m.poke()
 }
@@ -66,12 +128,13 @@ func (m *Mailbox[T]) PutFront(msg T) {
 func (m *Mailbox[T]) TryRecv() (msg T, ok, closed bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.queue) > 0 {
-		msg = m.queue[0]
+	if m.n > 0 {
+		msg = m.buf[m.head]
 		// Avoid retaining the element.
 		var zero T
-		m.queue[0] = zero
-		m.queue = m.queue[1:]
+		m.buf[m.head] = zero
+		m.head = (m.head + 1) % len(m.buf)
+		m.n--
 		return msg, true, m.closed
 	}
 	return msg, false, m.closed
@@ -95,11 +158,22 @@ func (m *Mailbox[T]) Recv() (msg T, ok bool) {
 // RecvTimeout is Recv with a real-time cap, used only on failure paths:
 // if the peer is dead nothing will ever arrive, and virtual time cannot
 // advance by itself. ok=false with timedOut=true reports the cap fired.
+// The deadline timer is pooled on the mailbox (there is exactly one
+// receiver), so steady-state timed waits do not allocate.
 func (m *Mailbox[T]) RecvTimeout(d time.Duration) (msg T, ok, timedOut bool) {
-	deadline := time.NewTimer(d)
-	defer deadline.Stop()
+	// Fast path: something is already queued (or the box is closed) — no
+	// timer needed at all.
+	msg, got, closed := m.TryRecv()
+	if got {
+		return msg, true, false
+	}
+	if closed {
+		return msg, false, false
+	}
+	deadline := m.armTimer(d)
+	defer m.disarmTimer()
 	for {
-		msg, got, closed := m.TryRecv()
+		msg, got, closed = m.TryRecv()
 		if got {
 			return msg, true, false
 		}
@@ -108,8 +182,30 @@ func (m *Mailbox[T]) RecvTimeout(d time.Duration) (msg T, ok, timedOut bool) {
 		}
 		select {
 		case <-m.notify:
-		case <-deadline.C:
+		case <-deadline:
 			return msg, false, true
+		}
+	}
+}
+
+// armTimer readies the pooled receiver-side timer for one RecvTimeout
+// call and returns its channel.
+func (m *Mailbox[T]) armTimer(d time.Duration) <-chan time.Time {
+	if m.timer == nil {
+		m.timer = time.NewTimer(d)
+		return m.timer.C
+	}
+	m.timer.Reset(d)
+	return m.timer.C
+}
+
+// disarmTimer stops the pooled timer and drains a stale expiry so the
+// next arm starts clean.
+func (m *Mailbox[T]) disarmTimer() {
+	if !m.timer.Stop() {
+		select {
+		case <-m.timer.C:
+		default:
 		}
 	}
 }
@@ -118,7 +214,7 @@ func (m *Mailbox[T]) RecvTimeout(d time.Duration) (msg T, ok, timedOut bool) {
 func (m *Mailbox[T]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return m.n
 }
 
 // Close marks the mailbox closed and wakes all waiters. Queued messages

@@ -3,10 +3,23 @@ package simnet
 import "sync"
 
 // Resource is a shared serialization point in the simulated system: one
-// direction of a link, a NIC DMA engine, a TOE processing pipeline. Work
-// offered to a Resource is serialized in virtual time — a request that
-// finds the resource busy is queued behind the in-flight work, which is
-// how contention turns into measured latency.
+// direction of a link, a NIC DMA engine, a TOE processing pipeline, a
+// lock stripe. Work offered to a Resource is serialized in virtual time —
+// a request that finds the resource busy is queued behind the in-flight
+// work, which is how contention turns into measured latency.
+//
+// Actors book work in *physical* call order, which with many concurrent
+// virtual clocks is not virtual-time order: a request carrying an early
+// virtual timestamp may be offered after the frontier has been pushed
+// far past it by an actor the OS scheduler happened to run first. The
+// resource therefore remembers a bounded list of idle gaps below its
+// frontier and backfills such requests into capacity that was genuinely
+// free at their time — otherwise the simulated contention would depend
+// on goroutine scheduling instead of modeled load (one actor racing
+// ahead would teleport the frontier and serialize everyone else behind
+// its wall-clock, a pure artifact). An actor whose offered times are
+// nondecreasing and at or past the frontier never hits the gap path, so
+// single-flow runs are bit-for-bit what the plain frontier model gives.
 //
 // Resource is safe for concurrent use by many actors.
 type Resource struct {
@@ -14,9 +27,17 @@ type Resource struct {
 
 	mu       sync.Mutex
 	nextFree Time
+	gaps     []gap    // idle intervals below nextFree, sorted, bounded
 	busy     Duration // total occupied time, for utilization stats
 	uses     int64
 }
+
+// gap is a half-open idle interval [from, to) below the frontier.
+type gap struct{ from, to Time }
+
+// maxGaps bounds the remembered idle intervals; when exceeded the oldest
+// (earliest) gap is forgotten — forfeiting capacity, never inventing it.
+const maxGaps = 64
 
 // NewResource returns an idle resource with the given diagnostic name.
 func NewResource(name string) *Resource { return &Resource{name: name} }
@@ -25,18 +46,54 @@ func NewResource(name string) *Resource { return &Resource{name: name} }
 func (r *Resource) Name() string { return r.name }
 
 // Acquire reserves the resource for dur starting no earlier than at.
-// It returns the actual start time: at if the resource was free, or the
-// end of the queued work ahead of the caller otherwise.
+// It returns the actual start time: at if the resource was free (or had
+// a remembered idle gap fitting the work), or the end of the queued work
+// ahead of the caller otherwise.
 func (r *Resource) Acquire(at Time, dur Duration) (start Time) {
 	if dur < 0 {
 		dur = 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	start = MaxTime(at, r.nextFree)
-	r.nextFree = start + dur
 	r.busy += dur
 	r.uses++
+	// Backfill: a request whose virtual time lands below the frontier
+	// takes the earliest remembered idle interval that can hold it.
+	if at < r.nextFree && dur > 0 {
+		for i := range r.gaps {
+			g := r.gaps[i]
+			s := MaxTime(at, g.from)
+			if s+dur > g.to {
+				continue
+			}
+			switch {
+			case s == g.from && s+dur == g.to: // exact fit: drop the gap
+				r.gaps = append(r.gaps[:i], r.gaps[i+1:]...)
+			case s == g.from: // booked at the front: shrink
+				r.gaps[i].from = s + dur
+			case s+dur == g.to: // booked at the back: shrink
+				r.gaps[i].to = s
+			default: // booked inside: split
+				r.gaps[i].to = s
+				rest := gap{from: s + dur, to: g.to}
+				r.gaps = append(r.gaps, gap{})
+				copy(r.gaps[i+2:], r.gaps[i+1:])
+				r.gaps[i+1] = rest
+			}
+			return s
+		}
+	}
+	start = MaxTime(at, r.nextFree)
+	if start > r.nextFree {
+		// The stretch between the old frontier and this booking was idle:
+		// remember it for latecomers with earlier virtual times.
+		if len(r.gaps) == maxGaps {
+			copy(r.gaps, r.gaps[1:])
+			r.gaps = r.gaps[:maxGaps-1]
+		}
+		r.gaps = append(r.gaps, gap{from: r.nextFree, to: start})
+	}
+	r.nextFree = start + dur
 	return start
 }
 
@@ -59,6 +116,7 @@ func (r *Resource) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextFree = 0
+	r.gaps = r.gaps[:0]
 	r.busy = 0
 	r.uses = 0
 }

@@ -453,10 +453,12 @@ func (c *Conn) chargeRecvCopy(n int) {
 
 func (c *Conn) consume(b []byte) int {
 	n := copy(b, c.rbuf)
-	c.rbuf = c.rbuf[n:]
-	if len(c.rbuf) == 0 {
-		c.rbuf = nil
-	}
+	// Slide the remainder to the front instead of re-slicing so the
+	// carry-over buffer keeps its full capacity: a long-lived connection
+	// reaches a steady state where arrivals append into existing backing
+	// memory and the read path stops allocating.
+	rem := copy(c.rbuf, c.rbuf[n:])
+	c.rbuf = c.rbuf[:rem]
 	return n
 }
 
@@ -480,6 +482,20 @@ func (c *Conn) WaitReadable() bool {
 	c.ep.in.PutFront(seg)
 	return true
 }
+
+// SetReadyHook installs fn to run — on the delivering goroutine —
+// whenever a segment lands on this end's incoming stream, and once when
+// the stream closes. It is the edge-triggered alternative to parking a
+// waker goroutine in WaitReadable: an event-loop worker registers a hook
+// that marks the connection runnable and pokes the loop. fn must not
+// block and must not touch the Conn itself (it runs concurrently with
+// the owner); after installing, re-check Buffered()/StreamClosed, since
+// arrivals that preceded the install fire no hook.
+func (c *Conn) SetReadyHook(fn func()) { c.ep.in.SetNotifyHook(fn) }
+
+// StreamClosed reports whether the incoming stream has been shut; with
+// Buffered()==0 it means reads would return io.EOF.
+func (c *Conn) StreamClosed() bool { return c.ep.in.Closed() }
 
 // Close shuts both directions: the peer's pending data stays readable,
 // after which its reads return io.EOF.

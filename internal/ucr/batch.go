@@ -13,10 +13,28 @@ import (
 
 // postBatch accumulates the work requests of packets sent between
 // BeginPostBatch and FlushPosts so one doorbell ring covers them all.
+// One batch value lives embedded in the Context and is reused across
+// open/flush cycles, so the steady-state serving loop opens a batch per
+// drain without allocating.
 type postBatch struct {
 	qp   *verbs.QP
 	wrs  []verbs.SendWR
-	undo []func() // per-WR cleanup, run if the burst fails to post
+	undo []postUndo // per-WR cleanup, run if the burst fails to post
+}
+
+// postUndo is the cleanup record for one queued send: drop its pending
+// completion, return the pool buffer, and fail the endpoint. A plain
+// struct instead of a closure keeps the hot send path alloc-free.
+type postUndo struct {
+	ep  *Endpoint
+	id  uint64
+	buf []byte
+}
+
+func (u postUndo) run() {
+	delete(u.ep.ctx.pendingSends, u.id)
+	u.ep.releaseSendBuf(u.buf)
+	u.ep.markFailed()
 }
 
 // BeginPostBatch opens a doorbell batch on the context: packets sent
@@ -27,13 +45,17 @@ type postBatch struct {
 // pure same-endpoint doorbell optimization.
 func (c *Context) BeginPostBatch() {
 	if c.batch == nil {
-		c.batch = &postBatch{}
+		b := &c.batchStore
+		b.qp = nil
+		b.wrs = b.wrs[:0]
+		b.undo = b.undo[:0]
+		c.batch = b
 	}
 }
 
 // queuePost absorbs a WR into the open batch. false means no batch is
 // open (or the WR is for another QP) and the caller must post directly.
-func (c *Context) queuePost(qp *verbs.QP, wr verbs.SendWR, undo func()) bool {
+func (c *Context) queuePost(qp *verbs.QP, wr verbs.SendWR, undo postUndo) bool {
 	b := c.batch
 	if b == nil {
 		return false
@@ -51,7 +73,9 @@ func (c *Context) queuePost(qp *verbs.QP, wr verbs.SendWR, undo func()) bool {
 
 // FlushPosts closes the batch and rings the doorbell once for every
 // held-back WR. On error the per-WR cleanups run (the endpoint is
-// failing; the packets never reached the wire).
+// failing; the packets never reached the wire). PostSendN dispatches
+// synchronously, so the batch's backing slices are free for reuse the
+// moment it returns.
 func (c *Context) FlushPosts(clk *simnet.VClock) error {
 	b := c.batch
 	c.batch = nil
@@ -60,33 +84,69 @@ func (c *Context) FlushPosts(clk *simnet.VClock) error {
 	}
 	if err := b.qp.PostSendN(clk, b.wrs); err != nil {
 		for _, undo := range b.undo {
-			undo()
+			undo.run()
 		}
 		return ErrEndpointDown
 	}
 	return nil
 }
 
-// TryProgressN processes up to max completions in one batched drain: the
-// first is harvested at the full poll/interrupt cost (synchronizing the
-// clock to its arrival), the rest — only those already visible at the
-// advanced clock — at the coalesced cost. max <= 1 degenerates to
-// TryProgress. Returns how many completions were processed.
+// TryProgressN processes up to max completions in one batched drain.
+// The drain models a poller that, after doing work, busy-polls for the
+// runtime's PollSpin before parking: a completion arriving while the
+// poller is still in its loop — already visible, or within PollSpin of
+// the previous drain running dry — is harvested at the coalesced cost;
+// one arriving later finds the poller parked and pays the full
+// poll/interrupt wakeup. The spin decision is made in virtual time
+// (against the recorded end of the previous productive drain), so it is
+// independent of when the completion was physically delivered. A lone
+// completion in depth-1 traffic arrives a full round trip after the
+// previous drain and always pays the full cost, keeping the figure
+// tables bit-identical. Returns how many completions were processed.
 func (c *Context) TryProgressN(clk *simnet.VClock, max int) int {
-	wc, ok := c.cq.TryPollWith(clk)
+	spin := c.rt.cfg.PollSpin
+	if spin < 0 {
+		spin = 0
+	}
+	wc, ok := c.cq.TryPoll()
 	if !ok {
 		return 0
 	}
+	clk.AdvanceTo(wc.Time)
+	if wc.Time <= c.drainEnd+spin {
+		clk.Advance(c.cq.CoalescedCost())
+		c.coalesced = true
+	} else {
+		clk.Advance(c.cq.Cost())
+	}
 	c.dispatch(clk, wc)
+	c.coalesced = false
 	n := 1
 	for n < max {
 		wc, ok := c.cq.TryPollReady(clk)
+		if !ok && spin > 0 {
+			// Out of visible work and about to busy-poll: ring the
+			// doorbell on any replies queued so far first — the spinner
+			// has nothing else to do, and holding them through the spin
+			// would delay the peer for no gain.
+			if b := c.batch; b != nil && len(b.wrs) > 0 {
+				_ = c.FlushPosts(clk) // failures ran their undos
+				c.BeginPostBatch()
+			}
+			wc, ok = c.cq.TryPollSpin(clk, spin)
+		}
 		if !ok {
 			break
 		}
+		c.coalesced = true
 		c.dispatch(clk, wc)
+		c.coalesced = false
 		n++
 	}
+	if n > 1 {
+		c.batchedDrains++
+	}
+	c.drainEnd = clk.Now()
 	return n
 }
 
@@ -109,12 +169,22 @@ func (c *Context) WaitCounterBatch(clk *simnet.VClock, ctr *Counter, target uint
 		if !ok {
 			return ErrClosed
 		}
+		// Extras never spin: a client waiter that has met its target has
+		// new requests to issue, and idling here for future replies would
+		// serialize the pipe. Only already-visible replies sweep cheaply.
+		extras := 0
 		for extra := 1; extra < batch; extra++ {
 			wc, ok := c.cq.TryPollReady(clk)
 			if !ok {
 				break
 			}
+			c.coalesced = true
 			c.dispatch(clk, wc)
+			c.coalesced = false
+			extras++
+		}
+		if extras > 0 {
+			c.batchedDrains++
 		}
 	}
 	return nil

@@ -27,10 +27,24 @@ type Context struct {
 	nextWR          uint64
 	nextSeq         uint64
 	batch           *postBatch // open doorbell batch (BeginPostBatch)
+	batchStore      postBatch  // its reused backing storage (alloc-free reopen)
+
+	// coalesced marks the 2nd..Nth dispatches of one batched CQ drain:
+	// AM dispatch then charges the coalesced handler cost (set/cleared by
+	// TryProgressN and WaitCounterBatch around each coalesced dispatch).
+	coalesced bool
+	// drainEnd is the virtual time the last productive TryProgressN ran
+	// dry: the owner busy-polls for cfg.PollSpin past it, so a completion
+	// arriving inside that window is harvested at the coalesced cost even
+	// though the owner goroutine has physically parked by the time the
+	// completion is delivered. Initialized far in the past so the very
+	// first harvest of a context always pays the full cost.
+	drainEnd simnet.Time
 
 	// stats
 	amsIn, amsOut, acksIn, acksOut, rdmaReads uint64
 	srqDemux                                  uint64
+	batchedDrains                             uint64
 }
 
 // MutSRQMisroute, when set (mutation builds only — see the memcached
@@ -41,9 +55,10 @@ type Context struct {
 var MutSRQMisroute bool
 
 type pendingSend struct {
-	ep        *Endpoint
-	buf       []byte   // pool buffer to release at local completion
-	originCtr *Counter // bumped at local completion (eager fast path, §IV-C)
+	ep          *Endpoint
+	buf         []byte    // pool buffer to release at local completion
+	originCtr   *Counter  // bumped at local completion (eager fast path, §IV-C)
+	originCtrID CounterID // issued id: guards the bump across struct reuse
 }
 
 type pendingRead struct {
@@ -58,10 +73,12 @@ type pendingRead struct {
 }
 
 type rndzOriginState struct {
-	mr        *verbs.MR
-	cached    bool // owned by the registration cache: do not deregister
-	originCtr *Counter
-	complCtr  *Counter
+	mr          *verbs.MR
+	cached      bool // owned by the registration cache: do not deregister
+	originCtr   *Counter
+	complCtr    *Counter
+	originCtrID CounterID
+	complCtrID  CounterID
 }
 
 // NewContext creates a progress context for one actor.
@@ -69,6 +86,7 @@ func (rt *Runtime) NewContext() *Context {
 	return &Context{
 		rt:              rt,
 		cq:              rt.hca.CreateCQ(),
+		drainEnd:        simnet.Time(-1) << 50,
 		eps:             make(map[uint32]*Endpoint),
 		pendingSends:    make(map[uint64]pendingSend),
 		pendingRecvs:    make(map[uint64][]byte),
@@ -90,6 +108,26 @@ func (c *Context) Stats() (amsIn, amsOut, acksIn, acksOut, rdmaReads uint64) {
 // shared receive queue (zero unless Config.UseSRQ). Tests use it as a
 // vacuity guard: a "shared-SRQ" run that never demuxed proved nothing.
 func (c *Context) SRQDemux() uint64 { return c.srqDemux }
+
+// BatchedDrains reports how many TryProgressN calls harvested two or
+// more completions in one sweep — i.e. how often the batched-drain path
+// actually amortized its poll/handler costs. Tests use it as a vacuity
+// guard: a "batch-scheduled" run that never coalesced proved nothing.
+func (c *Context) BatchedDrains() uint64 { return c.batchedDrains }
+
+// InCoalescedDrain reports whether the context is currently dispatching
+// a 2nd..Nth completion of one batched CQ drain. Completion handlers use
+// it to charge batch-amortized processing costs (e.g. the Memcached
+// server's CoalescedOpCost) without threading a flag through every
+// handler signature.
+func (c *Context) InCoalescedDrain() bool { return c.coalesced }
+
+// IncomingC exposes the context's completion-readiness channel: one
+// token means completions may be pending (or the context was destroyed)
+// since the owner last drained. Event-loop owners park on it in a select
+// instead of dedicating a WaitIncoming waker goroutine, then drain with
+// TryProgress/TryProgressN until empty. Spurious tokens are harmless.
+func (c *Context) IncomingC() <-chan struct{} { return c.cq.ReadyC() }
 
 // UseEvents switches this context's completion detection from polling to
 // interrupt-driven events (ablation: §II-A1 notes polling is fastest).
@@ -311,7 +349,7 @@ func (c *Context) onSendComplete(wc verbs.WC) {
 		st.ep.markFailed()
 		return
 	}
-	st.originCtr.bump()
+	st.originCtr.bumpIf(st.originCtrID)
 }
 
 // demuxEndpoint resolves an arrived packet to its endpoint. With
@@ -400,6 +438,16 @@ func (c *Context) onPacket(clk *simnet.VClock, wc verbs.WC) {
 	ep.repostRecv(buf)
 }
 
+// handlerCost is the AM-dispatch charge: the full HandlerOverhead for a
+// message harvested on its own, the coalesced cost for the 2nd..Nth
+// messages of one batched drain (cache-hot dispatch).
+func (c *Context) handlerCost() simnet.Duration {
+	if c.coalesced {
+		return c.rt.cfg.CoalescedHandlerOverhead
+	}
+	return c.rt.cfg.HandlerOverhead
+}
+
 // handleEager runs the short-message path of Fig 2b: header handler,
 // memcpy into the chosen buffer, completion handler, target counter.
 func (c *Context) handleEager(clk *simnet.VClock, ep *Endpoint, pkt packet) {
@@ -407,7 +455,7 @@ func (c *Context) handleEager(clk *simnet.VClock, ep *Endpoint, pkt packet) {
 	if h == nil || h.Header == nil {
 		return // no consumer: drop, as an unhandled AM would be
 	}
-	clk.Advance(c.rt.cfg.HandlerOverhead)
+	clk.Advance(c.handlerCost())
 	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen, pkt.targetCtr)
 	var data []byte
 	if pkt.dataLen > 0 {
@@ -447,7 +495,7 @@ func (c *Context) handleRndzHdr(clk *simnet.VClock, ep *Endpoint, pkt packet) {
 	if h == nil || h.Header == nil {
 		return
 	}
-	clk.Advance(c.rt.cfg.HandlerOverhead)
+	clk.Advance(c.handlerCost())
 	dst := h.Header(clk, ep, pkt.hdr, pkt.dataLen, pkt.targetCtr)
 	if len(dst) < pkt.dataLen {
 		ep.markFailed()
@@ -511,8 +559,8 @@ func (c *Context) handleAck(pkt packet) {
 		if st, ok := c.rndzOrigin[pkt.seq]; ok {
 			delete(c.rndzOrigin, pkt.seq)
 			c.rt.releaseRndzMR(st.mr, st.cached)
-			st.originCtr.bump()
-			st.complCtr.bump()
+			st.originCtr.bumpIf(st.originCtrID)
+			st.complCtr.bumpIf(st.complCtrID)
 			return
 		}
 	}

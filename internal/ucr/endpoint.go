@@ -139,13 +139,9 @@ func (ep *Endpoint) sendPacket(clk *simnet.VClock, pkt *packet, originCtr *Count
 	}
 	n := pkt.encode(buf)
 	id := ep.ctx.wrID()
-	ep.ctx.pendingSends[id] = pendingSend{ep: ep, buf: buf, originCtr: originCtr}
+	ep.ctx.pendingSends[id] = pendingSend{ep: ep, buf: buf, originCtr: originCtr, originCtrID: originCtr.ID()}
 	wr := verbs.SendWR{ID: id, Op: verbs.OpSend, Local: buf[:n], Dest: ep.ah}
-	if ep.ctx.queuePost(ep.qp, wr, func() {
-		delete(ep.ctx.pendingSends, id)
-		ep.releaseSendBuf(buf)
-		ep.markFailed()
-	}) {
+	if ep.ctx.queuePost(ep.qp, wr, postUndo{ep: ep, id: id, buf: buf}) {
 		if !ep.noCredits {
 			ep.sendCredits--
 		}
@@ -220,7 +216,11 @@ func (ep *Endpoint) Send(clk *simnet.VClock, msgID uint8, hdr, data []byte, orig
 	}
 	ep.ctx.nextSeq++
 	seq := ep.ctx.nextSeq
-	ep.ctx.rndzOrigin[seq] = rndzOriginState{mr: mr, cached: cached, originCtr: originCtr, complCtr: complCtr}
+	ep.ctx.rndzOrigin[seq] = rndzOriginState{
+		mr: mr, cached: cached,
+		originCtr: originCtr, complCtr: complCtr,
+		originCtrID: originCtr.ID(), complCtrID: complCtr.ID(),
+	}
 	pkt := &packet{
 		typ:       ptRndzHdr,
 		msgID:     msgID,

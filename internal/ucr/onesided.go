@@ -109,7 +109,7 @@ func (ep *Endpoint) oneSided(clk *simnet.VClock, op verbs.Opcode, local []byte, 
 		return ErrWindowBounds
 	}
 	id := ep.ctx.wrID()
-	ep.ctx.pendingOneSided[id] = oneSidedState{ep: ep, originCtr: originCtr}
+	ep.ctx.pendingOneSided[id] = oneSidedState{ep: ep, originCtr: originCtr, originCtrID: originCtr.ID()}
 	err := ep.qp.PostSend(clk, verbs.SendWR{
 		ID:         id,
 		Op:         op,
@@ -160,7 +160,7 @@ func (ep *Endpoint) atomic(clk *simnet.VClock, wr verbs.AtomicWR, win WindowDesc
 	var result uint64
 	done := &Counter{} // local-only progress counter; never leaves this host
 	id := ep.ctx.wrID()
-	ep.ctx.pendingOneSided[id] = oneSidedState{ep: ep, originCtr: done}
+	ep.ctx.pendingOneSided[id] = oneSidedState{ep: ep, originCtr: done, originCtrID: done.ID()}
 	wr.ID = id
 	wr.RemoteAddr = win.Addr + uint64(offset)
 	wr.RKey = win.RKey
@@ -196,10 +196,14 @@ func (ep *Endpoint) atomic(clk *simnet.VClock, wr verbs.AtomicWR, win WindowDesc
 	return result, nil
 }
 
-// oneSidedState tracks an in-flight one-sided operation.
+// oneSidedState tracks an in-flight one-sided operation. originCtrID
+// snapshots the counter's id at post time so a completion harvested
+// after the counter was freed (and the struct reissued from the pool)
+// cannot bump the new owner.
 type oneSidedState struct {
-	ep        *Endpoint
-	originCtr *Counter
+	ep          *Endpoint
+	originCtr   *Counter
+	originCtrID CounterID
 }
 
 // onOneSidedComplete finishes a put/get.
@@ -213,6 +217,6 @@ func (c *Context) onOneSidedComplete(wc verbs.WC) bool {
 		st.ep.markFailed()
 		return true
 	}
-	st.originCtr.bump()
+	st.originCtr.bumpIf(st.originCtrID)
 	return true
 }

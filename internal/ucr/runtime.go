@@ -24,6 +24,7 @@ type Runtime struct {
 	ctrMu    sync.Mutex
 	counters map[CounterID]*Counter
 	nextCtr  uint64
+	freeCtrs []*Counter // struct pool; ids are never reused, structs are
 
 	regs *regCache
 
@@ -64,13 +65,28 @@ func (rt *Runtime) handler(msgID uint8) *Handler {
 	return rt.handlers[msgID].Load()
 }
 
-// NewCounter allocates a counter with a network-visible id.
+// maxCtrPool bounds the retained counter-struct pool.
+const maxCtrPool = 1024
+
+// NewCounter issues a counter with a fresh network-visible id. The
+// struct comes from the free pool when one is available, so steady-state
+// request loops do not allocate; the id is always new (ids are the
+// late-duplicate defense and are never reused).
 func (rt *Runtime) NewCounter() *Counter {
 	rt.ctrMu.Lock()
 	defer rt.ctrMu.Unlock()
 	rt.nextCtr++
-	c := &Counter{id: CounterID(rt.nextCtr)}
-	rt.counters[c.id] = c
+	var c *Counter
+	if k := len(rt.freeCtrs); k > 0 {
+		c = rt.freeCtrs[k-1]
+		rt.freeCtrs[k-1] = nil
+		rt.freeCtrs = rt.freeCtrs[:k-1]
+		c.val.Store(0)
+	} else {
+		c = &Counter{}
+	}
+	c.id.Store(uint64(rt.nextCtr))
+	rt.counters[CounterID(rt.nextCtr)] = c
 	return c
 }
 
@@ -84,13 +100,21 @@ func (rt *Runtime) lookupCounter(id CounterID) *Counter {
 	return rt.counters[id]
 }
 
-// FreeCounter removes a counter from the registry.
+// FreeCounter removes a counter from the registry and recycles the
+// struct. Freeing a counter that is not registered (double free) leaves
+// the pool untouched, so a struct can never be pooled twice.
 func (rt *Runtime) FreeCounter(c *Counter) {
 	if c == nil {
 		return
 	}
 	rt.ctrMu.Lock()
-	delete(rt.counters, c.id)
+	id := CounterID(c.id.Load())
+	if rt.counters[id] == c {
+		delete(rt.counters, id)
+		if len(rt.freeCtrs) < maxCtrPool {
+			rt.freeCtrs = append(rt.freeCtrs, c)
+		}
+	}
 	rt.ctrMu.Unlock()
 }
 

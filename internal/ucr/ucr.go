@@ -75,8 +75,11 @@ type CounterID uint64
 
 // Counter is a monotonically increasing progress object (§IV-C).
 // Reads are safe from any goroutine; increments happen during progress.
+// Counter structs are pooled by the runtime (ids are never reused, the
+// structs are), so progress paths that cached a *Counter across a
+// possible free must bump through bumpIf with the id they were issued.
 type Counter struct {
-	id  CounterID
+	id  atomic.Uint64 // CounterID; rewritten when the struct is reissued
 	val atomic.Uint64
 }
 
@@ -85,7 +88,7 @@ func (c *Counter) ID() CounterID {
 	if c == nil {
 		return 0
 	}
-	return c.id
+	return CounterID(c.id.Load())
 }
 
 // Value reports the current count.
@@ -93,6 +96,15 @@ func (c *Counter) Value() uint64 { return c.val.Load() }
 
 func (c *Counter) bump() {
 	if c != nil {
+		c.val.Add(1)
+	}
+}
+
+// bumpIf bumps only if the struct still represents the counter the
+// caller was issued: a cached pointer whose counter was freed (and the
+// struct reissued under a new id) must not fire the new owner's counter.
+func (c *Counter) bumpIf(id CounterID) {
+	if c != nil && CounterID(c.id.Load()) == id {
 		c.val.Add(1)
 	}
 }
@@ -143,6 +155,27 @@ type Config struct {
 	// HandlerOverhead is the fixed cost of dispatching one active
 	// message into its header handler.
 	HandlerOverhead simnet.Duration
+	// CoalescedHandlerOverhead is the AM-dispatch cost for messages a
+	// batched CQ drain processes while hot — the 2nd..Nth of one sweep,
+	// and any message arriving within the drain's spin window (default
+	// HandlerOverhead/4): the dispatch tables and handler code are hot
+	// in cache when messages are processed back to back, mirroring the
+	// verbs layer's CoalescedPollOverhead. A lone message always pays
+	// the full cost, so depth-1 timing is unchanged.
+	CoalescedHandlerOverhead simnet.Duration
+	// PollSpin is the short busy-poll window a batched CQ drain keeps
+	// open after harvesting work: a completion landing within PollSpin
+	// of the drain's clock is harvested at the coalesced cost — the
+	// poller is still spinning in its loop, so there is no wakeup to
+	// pay — with the clock advanced to the completion's arrival (the
+	// time spent spinning). Only the 2nd..Nth steps of a drain that
+	// already harvested a completion spin; a lone completion (depth-1
+	// traffic, where the next arrival is a full round trip away) always
+	// pays the full poll cost, keeping the figure tables bit-identical.
+	// Default 2.5µs (well under any depth-1 inter-arrival gap, which is
+	// a full round trip of ≥ 3.8µs past the op just served); negative
+	// disables spinning entirely.
+	PollSpin simnet.Duration
 	// RealSilenceCap bounds, in *real* time, how long a wait may sit on
 	// a completely silent channel before concluding the peer is dead.
 	// Virtual time cannot advance by itself on silence, so this backstop
@@ -184,6 +217,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RealSilenceCap <= 0 {
 		c.RealSilenceCap = 500 * time.Millisecond
+	}
+	if c.PollSpin == 0 {
+		c.PollSpin = 2500
+	}
+	if c.CoalescedHandlerOverhead <= 0 {
+		c.CoalescedHandlerOverhead = c.HandlerOverhead / 4
 	}
 	if c.RegCacheEntries <= 0 {
 		c.RegCacheEntries = 128

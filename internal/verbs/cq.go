@@ -34,6 +34,14 @@ func (c *CQ) completionCost() simnet.Duration {
 	return c.hca.cfg.PollOverhead
 }
 
+// Cost exposes the full per-completion harvest cost (poll or interrupt,
+// per the CQ's mode) for callers that drive TryPoll themselves.
+func (c *CQ) Cost() simnet.Duration { return c.completionCost() }
+
+// CoalescedCost exposes the reduced harvest cost of the 2nd..Nth
+// completions of a batched drain (and of a spin-covered harvest).
+func (c *CQ) CoalescedCost() simnet.Duration { return c.hca.cfg.CoalescedPollOverhead }
+
 // TryPoll returns a completion if one is immediately available. The
 // caller is responsible for advancing its clock to wc.Time plus the
 // adapter's poll overhead (Wait and TryPollWith do this automatically).
@@ -76,6 +84,30 @@ func (c *CQ) TryPollReady(clk *simnet.VClock) (WC, bool) {
 	return wc, true
 }
 
+// TryPollSpin is TryPollReady for a drain that busy-polls briefly
+// instead of parking: it additionally harvests a completion landing
+// within `spin` of clk's current time, advancing the clock to the
+// completion (the time spent spinning) and still charging only the
+// coalesced cost — a poller that stays in its loop pays no wakeup. A
+// completion further out is left in place for a full-cost harvest, so
+// callers that never spin (spin <= 0) get TryPollReady exactly.
+func (c *CQ) TryPollSpin(clk *simnet.VClock, spin simnet.Duration) (WC, bool) {
+	if spin < 0 {
+		spin = 0
+	}
+	wc, ok, _ := c.box.TryRecv()
+	if !ok {
+		return wc, false
+	}
+	if wc.Time > clk.Now()+spin {
+		c.box.PutFront(wc)
+		return WC{}, false
+	}
+	clk.AdvanceTo(wc.Time)
+	clk.Advance(c.hca.cfg.CoalescedPollOverhead)
+	return wc, true
+}
+
 // Wait blocks until a completion is available, then synchronizes clk
 // with the completion time and charges the harvest cost.
 // ok=false means the CQ was destroyed.
@@ -114,6 +146,14 @@ func (c *CQ) WaitDeadline(clk *simnet.VClock, deadline simnet.Time, realCap time
 	clk.Advance(c.completionCost())
 	return wc, true, false
 }
+
+// ReadyC exposes the completion queue's readiness channel: one token
+// means "completions may be pending (or the CQ was destroyed) since you
+// last looked". Event-loop owners park on it in a select instead of
+// dedicating a waker goroutine; after a token the owner drains with
+// TryPoll* until empty. Spurious tokens are possible and harmless. Only
+// the single CQ owner may take from this channel.
+func (c *CQ) ReadyC() <-chan struct{} { return c.box.NotifyC() }
 
 // WaitAvailable blocks until a completion is pending, or the CQ is
 // destroyed (false). It consumes nothing and charges no time — it is the
