@@ -3,7 +3,8 @@
 # exercised concurrently).
 
 .PHONY: tier1 tier2 test perfgate memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy \
-        memcheck-srq memcheck-srq-lossy memcheck-ud memcheck-ud-lossy mutations fuzz-smoke
+        memcheck-srq memcheck-srq-lossy memcheck-ud memcheck-ud-lossy \
+        memcheck-wrreply memcheck-wrreply-lossy mutations fuzz-smoke
 
 tier1:
 	go build ./...
@@ -48,10 +49,19 @@ memcheck-ud:
 memcheck-ud-lossy:
 	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -ud -faults
 
+# Write-based reply sweeps (UCR-IB only): RDMA-write replies into the
+# client's slot arena. Fails on vacuity if no reply rode the write path.
+memcheck-wrreply:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -wrreply
+
+memcheck-wrreply-lossy:
+	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -wrreply -faults
+
 # Checker validation: every seeded store mutation must be caught.
 MUTATIONS = mut_append_nocas mut_get_skip_expiry mut_cas_ignore_id \
             mut_delete_noop mut_add_clobbers mut_proto_drop_flags \
-            mut_onesided_stale mut_srq_misroute mut_ud_dup_ack
+            mut_onesided_stale mut_srq_misroute mut_ud_dup_ack \
+            mut_wrreply_stale
 
 mutations:
 	@for m in $(MUTATIONS); do \
@@ -76,7 +86,10 @@ fuzz-smoke:
 # BENCH_4/BENCH_7 pin the pre-batching trajectory (so the gate also
 # proves the event-loop server never dips below the old serving path);
 # BENCH_8 pins the batched loop's own throughput AND its allocs/op, the
-# baseline that catches a quiet return of per-op allocation.
+# baseline that catches a quiet return of per-op allocation; BENCH_9
+# pins the write-based reply path (gated by the wrreply quick sweep).
 perfgate:
 	go run ./cmd/mcbench -quick -json | \
 	go run ./cmd/mcgate -baseline BENCH_4.json -baseline BENCH_7.json -baseline BENCH_8.json
+	go run ./cmd/mcbench -wrreply -quick -ops 300 -json | \
+	go run ./cmd/mcgate -baseline BENCH_9.json

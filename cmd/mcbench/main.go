@@ -55,6 +55,19 @@ func runPipeline(cfg bench.RunConfig, quick bool) []bench.PipelinePoint {
 	return pts
 }
 
+// runWriteReply produces the write-reply crossover sweep: the pipelined
+// GET matrix on UCR-IB, each cell measured with the write-based reply
+// path off and on (BENCH_9).
+func runWriteReply(cfg bench.RunConfig, quick bool) []bench.PipelinePoint {
+	pts, err := bench.WriteReplySweep(clusterProfile("B"),
+		bench.PipelineDepths(quick), bench.WriteReplySizes(quick), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: wrreply: %v\n", err)
+		os.Exit(1)
+	}
+	return pts
+}
+
 // runScaling produces the workers x stripes grid (small gets and the
 // interleaved mix, 16 closed-loop clients on UCR-IB, cluster B).
 func runScaling(cfg bench.RunConfig) []bench.ScalingPoint {
@@ -203,6 +216,7 @@ func main() {
 		stripes   = flag.Int("stripes", 0, "cache-engine lock stripes for figure runs (0 = deployment default)")
 		scaling   = flag.Bool("scaling", false, "append the multi-core workers x stripes sweep")
 		pipeline  = flag.Bool("pipeline", false, "run the pipelined window-depth sweep instead of the figures")
+		wrreply   = flag.Bool("wrreply", false, "run the write-reply crossover sweep (pipelined GETs, write-based replies off vs on) instead of the figures")
 		onesided  = flag.Bool("onesided", false, "run the one-sided GET vs AM GET sweep instead of the figures")
 		connscale = flag.Bool("connscale", false, "run the connection-scalability sweep (rc/srq/ud/mux) instead of the figures")
 		quick     = flag.Bool("quick", false, "with -pipeline/-onesided/-connscale: trimmed axes for a CI smoke run; alone: the perf-gate suite")
@@ -218,7 +232,7 @@ func main() {
 		tables = os.Stderr
 	}
 
-	if *quick && !*pipeline && !*onesided && !*connscale && !*ablations && !*faults && !*list && *figID == "" {
+	if *quick && !*pipeline && !*wrreply && !*onesided && !*connscale && !*ablations && !*faults && !*list && *figID == "" {
 		// Perf-gate suite: the trimmed pipeline and connection-scaling
 		// sweeps in one report (cmd/mcgate compares the cells it shares
 		// with each -baseline file).
@@ -241,6 +255,16 @@ func main() {
 	if *pipeline {
 		rep := report{OpsPerPoint: *ops}
 		rep.Pipeline = runPipeline(bench.RunConfig{OpsPerPoint: *ops}, *quick)
+		fmt.Fprint(tables, bench.PipelineTable(rep.Pipeline))
+		if jf.set {
+			writeJSON(jf.path, rep)
+		}
+		return
+	}
+
+	if *wrreply {
+		rep := report{OpsPerPoint: *ops}
+		rep.Pipeline = runWriteReply(bench.RunConfig{OpsPerPoint: *ops}, *quick)
 		fmt.Fprint(tables, bench.PipelineTable(rep.Pipeline))
 		if jf.set {
 			writeJSON(jf.path, rep)

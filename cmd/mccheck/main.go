@@ -32,6 +32,7 @@ func main() {
 		onesided  = flag.Bool("onesided", false, "arm the one-sided GET path (UCR transport)")
 		srq       = flag.Bool("srq", false, "serve from shared receive queues (UCR transport)")
 		ud        = flag.Bool("ud", false, "arm the hybrid UD small-get mode (UCR transport)")
+		wrreply   = flag.Bool("wrreply", false, "arm the write-based reply path (UCR transport)")
 		clients   = flag.Int("clients", 0, "client count (default 3)")
 		ops       = flag.Int("ops", 0, "ops per script (default 400)")
 		script    = flag.String("script", "", "replay a script file instead of generating from the seed")
@@ -66,6 +67,12 @@ func main() {
 				*srq = true
 				fmt.Println("mccheck: -srq implied by mut_srq_misroute")
 			}
+			if m == "mut_wrreply_stale" && !*wrreply {
+				// The stale-window mutation only fires on the write-based
+				// reply path; arm it so -expect-violation can catch it.
+				*wrreply = true
+				fmt.Println("mccheck: -wrreply implied by mut_wrreply_stale")
+			}
 			if m == "mut_ud_dup_ack" {
 				// The dup-accept only fires when late duplicate replies
 				// exist, which takes UD traffic plus timeouts from a lossy
@@ -92,15 +99,16 @@ func main() {
 
 	runs := 0
 	ucrRuns := 0
-	var srqDemux, udGets, udRetx, batchedDrains uint64
+	var srqDemux, udGets, udRetx, batchedDrains, writeReplies uint64
 	for _, tr := range trs {
 		for _, s := range seedList {
 			cfg := memcheck.Config{
 				Transport: tr, Seed: s, Faults: *faults, Pressure: *pressure,
 				NoBursts: *nobursts, Clients: *clients, Ops: *ops,
-				OneSided: *onesided && tr == cluster.UCRIB,
-				SRQ:      *srq && tr == cluster.UCRIB,
-				UD:       *ud && tr == cluster.UCRIB,
+				OneSided:     *onesided && tr == cluster.UCRIB,
+				SRQ:          *srq && tr == cluster.UCRIB,
+				UD:           *ud && tr == cluster.UCRIB,
+				WriteReplies: *wrreply && tr == cluster.UCRIB,
 			}
 			var res *memcheck.Result
 			if *script != "" {
@@ -123,6 +131,7 @@ func main() {
 			udGets += res.UDGets
 			udRetx += res.UDRetransmits
 			batchedDrains += res.BatchedDrains
+			writeReplies += res.WriteReplies
 			if tr == cluster.UCRIB {
 				ucrRuns++
 			}
@@ -158,6 +167,10 @@ func main() {
 		fmt.Println("mccheck: FAIL: -ud -faults armed but no UD retransmissions happened (vacuous sweep)")
 		os.Exit(1)
 	}
+	if *wrreply && writeReplies == 0 {
+		fmt.Println("mccheck: FAIL: -wrreply armed but no reply was posted as an RDMA write (vacuous sweep)")
+		os.Exit(1)
+	}
 	// The batch-scheduled serving loop must actually engage on UCR runs
 	// with pipelined bursts: the generator emits concurrent windows
 	// (unless -nobursts), so across a sweep at least one worker drain
@@ -167,6 +180,6 @@ func main() {
 		fmt.Println("mccheck: FAIL: UCR sweep with bursts but no batched CQ drains recorded (batch path vacuous)")
 		os.Exit(1)
 	}
-	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v, srq=%v, ud=%v; srqDemux=%d udGets=%d udRetx=%d batchedDrains=%d)\n",
-		runs, *transport, len(seedList), *faults, *pressure, *srq, *ud, srqDemux, udGets, udRetx, batchedDrains)
+	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v, srq=%v, ud=%v, wrreply=%v; srqDemux=%d udGets=%d udRetx=%d batchedDrains=%d writeReplies=%d)\n",
+		runs, *transport, len(seedList), *faults, *pressure, *srq, *ud, *wrreply, srqDemux, udGets, udRetx, batchedDrains, writeReplies)
 }

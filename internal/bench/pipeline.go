@@ -28,6 +28,11 @@ type PipelinePoint struct {
 	KTPS        float64 `json:"ktps"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// WriteReplies counts the replies that landed through the client's
+	// reply window over the whole connection (warmup included) — the
+	// write-reply sweep's vacuity evidence. Zero (and omitted) whenever
+	// the deployment doesn't arm the path.
+	WriteReplies uint64 `json:"write_replies,omitempty"`
 }
 
 // pipelinePoint measures closed-loop Get throughput on one connection
@@ -94,6 +99,9 @@ func pipelinePoint(p *cluster.Profile, t cluster.Transport, depth, size int, cfg
 	makespan := clk.Now() - start
 	pt.KTPS = float64(cfg.OpsPerPoint) / makespan.Seconds() / 1e3
 	pt.NsPerOp = float64(makespan) / float64(cfg.OpsPerPoint)
+	if ut, ok := c.MC.Transport(0).(*mcclient.UCRTransport); ok {
+		pt.WriteReplies = ut.WriteReplyHits()
+	}
 	// Mallocs is cumulative and process-wide, so this delta includes the
 	// in-process server's workers — exactly the surface the gate guards.
 	// The futures slice itself and its growth are the loop's own fixed

@@ -69,6 +69,21 @@ type Options struct {
 	// the AM path on miss/conflict. Strictly opt-in so the two-sided
 	// benchmarks keep their timing.
 	OneSidedGet bool
+	// WriteReplies arms the write-based zero-copy reply path: every
+	// reliable UCR client registers a reply-slot window arena and
+	// advertises a slot with each GET/MGET, and the server answers
+	// crossover-sized hits by gather-writing [header ‖ value] straight
+	// from the pinned slab chunk into the slot, completing the future
+	// with a payload-free notify AM. Small values, oversize-vs-window,
+	// UD endpoints, and exhausted arenas all fall back to the ordinary
+	// eager/rendezvous ladder. Strictly opt-in so the depth-1 golden
+	// figure tables stay bit-identical. Concentrated (SessionsPerQP)
+	// clients skip it, like the other fast paths.
+	WriteReplies bool
+	// WriteReplyEager is the write-reply crossover in bytes (reply
+	// header included): totals at or below it keep the eager copy path
+	// even when a window was advertised. Default 1 KB.
+	WriteReplyEager int
 	// Faults, when non-nil, installs a deterministic fault injector on
 	// every fabric (same config, one independent verdict stream per
 	// fabric and node pair). Nil leaves delivery lossless and the
@@ -230,6 +245,7 @@ func New(p *Profile, opts Options) *Deployment {
 			DispatchCost:    opts.DispatchCost,
 			OpCost:          opts.OpCost,
 			CoalescedOpCost: opts.CoalescedOpCost,
+			WriteReplyEager: opts.WriteReplyEager,
 			// Lock-held copies run at the cluster's memory pack rate.
 			CopyBytesPerSec: p.UCR.PackBytesPerSec,
 			UCREvents:       opts.UCREvents,
@@ -320,6 +336,13 @@ func (d *Deployment) newClient(t Transport, behaviors mcclient.Behaviors, unreli
 			if d.Opts.OneSidedGet && !unreliable {
 				if ost, ok := tr.(*mcclient.UCRTransport); ok {
 					ost.EnableOneSided()
+				}
+			}
+			if d.Opts.WriteReplies && !unreliable {
+				if wt, ok := tr.(*mcclient.UCRTransport); ok {
+					if err := wt.EnableWriteReplies(clk, 0, 0); err != nil {
+						return nil, err
+					}
 				}
 			}
 			if d.Opts.UDGets && !unreliable {

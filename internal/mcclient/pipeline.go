@@ -109,6 +109,12 @@ type pipeOp struct {
 	failed bool // send never reached the wire: settle ErrServerDown
 	done   bool
 	settle func(err error)
+	// land is non-nil while a write-reply landing is deferred: the value
+	// still sits in the op's reply slot and this materializes the
+	// copy-out into the future (then retires the op). The pipeline runs
+	// pending landings just before each blocking CQ wait, so the copy
+	// overlaps the wire instead of delaying the next request.
+	land func(clk *simnet.VClock)
 }
 
 // Pipeline implements Pipeliner: the returned pipeline issues AM
@@ -127,6 +133,7 @@ type ucrPipeline struct {
 	window int
 	q      []*pipeOp // outstanding, issue order
 	pend   []*pipeOp // trailing entries whose sends are still queued
+	landq  []*pipeOp // settled entries with a deferred write-reply landing
 	err    error     // first transport-level error (sticky)
 }
 
@@ -195,10 +202,27 @@ func (p *ucrPipeline) fail(err error) {
 	}
 }
 
+// drainLandings materializes every deferred write-reply copy-out. Run
+// just before a blocking CQ wait, the copies are charged while the
+// awaited reply is still on the wire; the forward-only sync to its
+// arrival then swallows them (see wrLand).
+func (p *ucrPipeline) drainLandings(clk *simnet.VClock) {
+	for i, e := range p.landq {
+		if e.land != nil {
+			e.land(clk)
+		}
+		p.landq[i] = nil
+	}
+	p.landq = p.landq[:0]
+}
+
 // waitFor settles one outstanding entry (in any order — tagged slots
 // let replies land while a different tag is being waited on).
 func (p *ucrPipeline) waitFor(clk *simnet.VClock, e *pipeOp) {
 	if e.done {
+		if e.land != nil {
+			e.land(clk)
+		}
 		return
 	}
 	if !e.sent {
@@ -208,6 +232,7 @@ func (p *ucrPipeline) waitFor(clk *simnet.VClock, e *pipeOp) {
 	if e.failed {
 		err = ErrServerDown
 	} else {
+		p.drainLandings(clk)
 		err = p.t.waitDone(clk, e.op, p.window)
 	}
 	if err != nil {
@@ -215,8 +240,15 @@ func (p *ucrPipeline) waitFor(clk *simnet.VClock, e *pipeOp) {
 	}
 	e.settle(err)
 	e.done = true
-	p.t.finishOp(e.op)
 	p.remove(e)
+	if e.land != nil {
+		// Deferred write-reply landing: the op keeps its reply slot until
+		// the copy-out materializes at the next blocking wait (or on the
+		// future's own Wait, whichever comes first).
+		p.landq = append(p.landq, e)
+	} else {
+		p.t.finishOp(e.op)
+	}
 }
 
 func (p *ucrPipeline) remove(e *pipeOp) {
@@ -234,6 +266,7 @@ func (p *ucrPipeline) Wait(clk *simnet.VClock) error {
 	for len(p.q) > 0 {
 		p.waitFor(clk, p.q[0])
 	}
+	p.drainLandings(clk)
 	return p.err
 }
 
@@ -250,22 +283,43 @@ func (p *ucrPipeline) startGet(clk *simnet.VClock, key string, lend []byte) *Get
 	f := &GetFuture{}
 	op := t.newOp()
 	op.lend = lend
-	hdr := memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+	var hdr []byte
+	msg := memcached.AMGet
+	if i, ok := t.wrAcquire(); ok {
+		op.wrSlot = i + 1
+		hdr = memcached.EncodeGetWReq(memcached.GetWReq{ReplyCtr: op.tag, Slot: uint16(i), Key: key})
+		msg = memcached.AMGetW
+	} else {
+		hdr = memcached.EncodeKeyReq(memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+	}
 	op.send = func() error {
-		return t.ep.Send(clk, memcached.AMGet, hdr, nil, nil, 0, nil)
+		return t.ep.Send(clk, msg, hdr, nil, nil, 0, nil)
 	}
 	e := &pipeOp{op: op}
 	e.settle = func(err error) {
-		f.done = true
 		if err != nil {
+			f.done = true
 			f.err = err
 			return
 		}
 		if op.get.Status != memcached.AMOK {
+			f.done = true
 			return
 		}
 		f.hit = true
 		f.flags, f.cas = op.get.Flags, op.get.CAS
+		if op.wrPend {
+			// Value still sits in the reply slot: defer the copy-out so
+			// it lands under the next wait's wire time.
+			e.land = func(clk *simnet.VClock) {
+				f.value = t.wrTake(clk, op)
+				f.done = true
+				e.land = nil
+				t.finishOp(op)
+			}
+			return
+		}
+		f.done = true
 		v := op.data
 		if op.pooled {
 			v = append([]byte(nil), op.data...)

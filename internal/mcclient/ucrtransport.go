@@ -52,6 +52,9 @@ type UCRTransport struct {
 	// One-sided GET fast path (see onesided.go).
 	os           osState
 	lastOneSided bool // most recent Get was served one-sided
+
+	// Write-based reply arena (see wrreply.go).
+	wr wrState
 }
 
 // amOp is one in-flight request: its tag (= reply counter id), the
@@ -62,6 +65,12 @@ type amOp struct {
 	ep     *ucr.Endpoint // endpoint the request (and any re-send) uses
 	lend   []byte        // caller-lent value buffer (GetInto); nil = pool
 	pooled bool          // data came from the transport pool: recycle on finish
+	wrSlot int32         // write-reply slot index + 1; 0 = none
+	// Deferred write-reply landing: the notify recorded wrPendLen slot
+	// bytes pending copy-out (see wrMaterialize/wrTake). The slot stays
+	// busy until the landing materializes and the op is finished.
+	wrPend    bool
+	wrPendLen int
 	data   []byte        // landed value bytes
 	tooBig bool          // UD reply punted: value exceeds one datagram
 	status memcached.StatusReply
@@ -226,6 +235,7 @@ func RegisterClientHandlers(rt *ucr.Runtime) {
 			}
 		},
 	})
+	registerWrReplyHandlers(rt)
 }
 
 // landingBuf picks where a reply value lands: the tagged request's lent
@@ -328,12 +338,18 @@ func (t *UCRTransport) newOp() *amOp {
 
 // finishOp retires a request: the tag leaves the slot table (late
 // duplicates now land in scratch), the counter is freed (their bumps
-// become no-ops), and the pooled landing buffer is recycled.
+// become no-ops), and the pooled landing buffer is recycled. A
+// write-reply slot is released unconditionally — RC FIFO on the
+// transport's one QP orders any late write to it before a later
+// request's write, so recycling can never expose stale data.
 func (t *UCRTransport) finishOp(op *amOp) {
 	delete(t.slots, op.tag)
 	t.rt.FreeCounter(op.ctr)
 	if op.pooled {
 		t.recycleBuf(op.data)
+	}
+	if op.wrSlot != 0 {
+		t.wrRelease(op.wrSlot - 1)
 	}
 	hdr := op.hdrBuf
 	*op = amOp{}
@@ -520,13 +536,24 @@ func (t *UCRTransport) getOp(clk *simnet.VClock, key string, lend []byte) (*amOp
 	}
 	op := t.newOp()
 	op.lend = lend
-	op.hdrBuf = memcached.AppendKeyReq(op.hdrBuf[:0], memcached.KeyReq{ReplyCtr: op.tag, Key: key})
-	op.sendMsg = memcached.AMGet
+	if i, ok := t.wrAcquire(); ok {
+		op.wrSlot = i + 1
+		op.hdrBuf = memcached.AppendGetWReq(op.hdrBuf[:0], memcached.GetWReq{
+			ReplyCtr: op.tag, Slot: uint16(i), Key: key,
+		})
+		op.sendMsg = memcached.AMGetW
+	} else {
+		op.hdrBuf = memcached.AppendKeyReq(op.hdrBuf[:0], memcached.KeyReq{ReplyCtr: op.tag, Key: key})
+		op.sendMsg = memcached.AMGet
+	}
 	op.sendHdr = op.hdrBuf
 	op.sendClk = clk
 	if err := t.do(clk, op); err != nil {
 		return nil, err
 	}
+	// A blocking caller reads op.data next: land any deferred write
+	// reply now (no later wait to hide the copy under).
+	t.wrMaterialize(clk, op)
 	return op, nil
 }
 
@@ -605,9 +632,17 @@ func (t *UCRTransport) mgetOp(clk *simnet.VClock, keys []string, lend []byte) (*
 	}
 	op := t.newOp()
 	op.lend = lend
-	rcHdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
-	op.send = func() error {
-		return t.ep.Send(clk, memcached.AMMGet, rcHdr, nil, nil, 0, nil)
+	if i, ok := t.wrAcquire(); ok {
+		op.wrSlot = i + 1
+		rcHdr := memcached.AppendMGetWReq(nil, op.tag, uint16(i), keys)
+		op.send = func() error {
+			return t.ep.Send(clk, memcached.AMMGetW, rcHdr, nil, nil, 0, nil)
+		}
+	} else {
+		rcHdr := memcached.EncodeMGetReq(memcached.MGetReq{ReplyCtr: op.tag, Keys: keys})
+		op.send = func() error {
+			return t.ep.Send(clk, memcached.AMMGet, rcHdr, nil, nil, 0, nil)
+		}
 	}
 	if err := t.do(clk, op); err != nil {
 		return nil, err
@@ -734,6 +769,10 @@ func (t *UCRTransport) Close() {
 	for tag, op := range t.slots {
 		delete(t.slots, tag)
 		t.rt.FreeCounter(op.ctr)
+	}
+	if t.wr.win != nil {
+		t.wr.armed = false
+		t.wr.win.Close()
 	}
 	t.ep.Close()
 }

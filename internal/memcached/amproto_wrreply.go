@@ -1,0 +1,233 @@
+package memcached
+
+import (
+	"encoding/binary"
+
+	"repro/internal/ucr"
+)
+
+// Write-based replies: the client registers a slot-carved reply arena
+// with the server once (AMWrArm — the one-time slot-table exchange),
+// and each GET/MGET request then advertises just a 2-byte slot index.
+// The server answers a validated hit by gather-writing [reply header ‖
+// value(s)] straight from the pinned slab chunk into that slot,
+// completing the client's future with a small payload-free notify AM.
+// Requests without a slot keep the plain AMGet/AMMGet ids, so golden
+// traffic is untouched unless the client opts in — and a slot-carrying
+// request whose connection never armed (the table exchange was lost, or
+// a foreign endpoint replays one) resolves to an empty window and falls
+// back to the copy ladder.
+const (
+	// AMGetW is AMGet plus a reply-slot index.
+	AMGetW uint8 = 0x18
+	// AMMGetW is AMMGet plus a reply-slot index.
+	AMMGetW uint8 = 0x19
+	// AMWrArm registers the client's reply arena for this connection:
+	// base address, rkey, slot length, slot count. Answered by
+	// AMWrArmReply (a StatusReply) so arming rides the ordinary
+	// request/retry machinery.
+	AMWrArm uint8 = 0x1a
+	// AMWrArmReply acknowledges AMWrArm.
+	AMWrArmReply uint8 = 0x29
+	// AMGetWNotify answers an AMGetW whose value was RDMA-written into
+	// the advertised window: the metadata the client needs (status,
+	// flags, CAS, value length), no payload. Ordinary AMGetReply answers
+	// an AMGetW whenever the server fell back to the copy path.
+	AMGetWNotify uint8 = 0x27
+	// AMMGetWNotify answers an AMMGetW served through the window: the
+	// written [mget header ‖ value block] extents.
+	AMMGetWNotify uint8 = 0x28
+)
+
+// GetWSlotHdrLen is the encoded GetReply length the server writes at
+// offset 0 of the client's reply slot, ahead of the value bytes.
+const GetWSlotHdrLen = 13
+
+// WrArmReq is the AM 1 header for the slot-table exchange: the reply
+// arena's registered base descriptor plus its slot geometry. Wire
+// layout: replyCtr(8) addr(8) rkey(4) slotLen(4) slots(4).
+type WrArmReq struct {
+	ReplyCtr ucr.CounterID
+	Addr     uint64
+	RKey     uint32
+	SlotLen  uint32
+	Slots    uint32
+}
+
+const wrArmFixed = 8 + 8 + 4 + 4 + 4
+
+// AppendWrArmReq packs the header onto dst.
+func AppendWrArmReq(dst []byte, r WrArmReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(r.ReplyCtr))
+	dst = le.AppendUint64(dst, r.Addr)
+	dst = le.AppendUint32(dst, r.RKey)
+	dst = le.AppendUint32(dst, r.SlotLen)
+	return le.AppendUint32(dst, r.Slots)
+}
+
+// DecodeWrArmReq unpacks the header. A geometry whose slots would
+// exceed the one-sided window bound is rejected rather than truncated.
+func DecodeWrArmReq(b []byte) (WrArmReq, error) {
+	if len(b) < wrArmFixed {
+		return WrArmReq{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	r := WrArmReq{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Addr:     le.Uint64(b[8:]),
+		RKey:     le.Uint32(b[16:]),
+		SlotLen:  le.Uint32(b[20:]),
+		Slots:    le.Uint32(b[24:]),
+	}
+	if uint64(r.SlotLen) > ucr.MaxWindowLen {
+		return WrArmReq{}, ErrShortAMHeader
+	}
+	return r, nil
+}
+
+// GetWReq is the AM 1 header for a slot-advertising Get: the KeyReq
+// fields plus the arena slot index the reply may be written into. Wire
+// layout: replyCtr(8) slot(2) klen(2) key.
+type GetWReq struct {
+	ReplyCtr ucr.CounterID
+	Slot     uint16
+	Key      string
+}
+
+// getWFixed is the fixed prefix of a GetWReq.
+const getWFixed = 8 + 2 + 2
+
+// AppendGetWReq packs the header onto dst.
+func AppendGetWReq(dst []byte, r GetWReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(r.ReplyCtr))
+	dst = le.AppendUint16(dst, r.Slot)
+	dst = le.AppendUint16(dst, uint16(len(r.Key)))
+	return append(dst, r.Key...)
+}
+
+// EncodeGetWReq packs the header.
+func EncodeGetWReq(r GetWReq) []byte {
+	return AppendGetWReq(make([]byte, 0, getWFixed+len(r.Key)), r)
+}
+
+// GetWReqView is a GetW header decoded in place: Key aliases the wire
+// buffer.
+type GetWReqView struct {
+	ReplyCtr ucr.CounterID
+	Slot     uint16
+	Key      []byte
+}
+
+// DecodeGetWReqView unpacks the header without copying the key.
+func DecodeGetWReqView(b []byte) (GetWReqView, error) {
+	if len(b) < getWFixed {
+		return GetWReqView{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	kl := int(le.Uint16(b[10:]))
+	if len(b) < getWFixed+kl {
+		return GetWReqView{}, ErrShortAMHeader
+	}
+	return GetWReqView{
+		ReplyCtr: ucr.CounterID(le.Uint64(b)),
+		Slot:     le.Uint16(b[8:]),
+		Key:      b[getWFixed : getWFixed+kl],
+	}, nil
+}
+
+// GetWNotify is the AM 2 header completing a write-served Get: the
+// GetReply metadata plus the value length written into the slot (the
+// value itself is already sitting at slot[GetWSlotHdrLen:]).
+type GetWNotify struct {
+	Status   uint8
+	Flags    uint32
+	CAS      uint64
+	ValueLen uint32
+}
+
+// AppendGetWNotify packs the header onto dst.
+func AppendGetWNotify(dst []byte, r GetWNotify) []byte {
+	le := binary.LittleEndian
+	dst = append(dst, r.Status)
+	dst = le.AppendUint32(dst, r.Flags)
+	dst = le.AppendUint64(dst, r.CAS)
+	return le.AppendUint32(dst, r.ValueLen)
+}
+
+// EncodeGetWNotify packs the header.
+func EncodeGetWNotify(r GetWNotify) []byte {
+	return AppendGetWNotify(make([]byte, 0, 17), r)
+}
+
+// DecodeGetWNotify unpacks the header.
+func DecodeGetWNotify(b []byte) (GetWNotify, error) {
+	if len(b) < 17 {
+		return GetWNotify{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	return GetWNotify{
+		Status:   b[0],
+		Flags:    le.Uint32(b[1:]),
+		CAS:      le.Uint64(b[5:]),
+		ValueLen: le.Uint32(b[13:]),
+	}, nil
+}
+
+// mgetWFixed is the fixed prefix of an AMMGetW request: replyCtr(8)
+// slot(2), followed by the standard mget key block nkeys(2)
+// {klen(2) key}*.
+const mgetWFixed = 8 + 2
+
+// AppendMGetWReq packs a slot-advertising multi-get onto dst.
+func AppendMGetWReq(dst []byte, ctr ucr.CounterID, slot uint16, keys []string) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(ctr))
+	dst = le.AppendUint16(dst, slot)
+	dst = le.AppendUint16(dst, uint16(len(keys)))
+	for _, k := range keys {
+		dst = le.AppendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// NewMGetWCursor opens an in-place key cursor over an encoded AMMGetW
+// request, returning the reply counter and the advertised slot index.
+func NewMGetWCursor(b []byte) (ucr.CounterID, uint16, MGetKeyCursor, error) {
+	if len(b) < mgetWFixed+2 {
+		return 0, 0, MGetKeyCursor{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	slot := le.Uint16(b[8:])
+	cur := MGetKeyCursor{b: b, off: mgetWFixed + 2, n: int(le.Uint16(b[mgetWFixed:]))}
+	return ucr.CounterID(le.Uint64(b)), slot, cur, nil
+}
+
+// MGetWNotify is the AM 2 header completing a write-served multi-get:
+// the extents of what the server wrote into the slot — the mget reply
+// header occupies slot[:HdrLen] and the concatenated value block
+// slot[HdrLen : HdrLen+DataLen].
+type MGetWNotify struct {
+	Status  uint8
+	HdrLen  uint32
+	DataLen uint32
+}
+
+// AppendMGetWNotify packs the header onto dst.
+func AppendMGetWNotify(dst []byte, r MGetWNotify) []byte {
+	le := binary.LittleEndian
+	dst = append(dst, r.Status)
+	dst = le.AppendUint32(dst, r.HdrLen)
+	return le.AppendUint32(dst, r.DataLen)
+}
+
+// DecodeMGetWNotify unpacks the header.
+func DecodeMGetWNotify(b []byte) (MGetWNotify, error) {
+	if len(b) < 9 {
+		return MGetWNotify{}, ErrShortAMHeader
+	}
+	le := binary.LittleEndian
+	return MGetWNotify{Status: b[0], HdrLen: le.Uint32(b[1:]), DataLen: le.Uint32(b[5:])}, nil
+}

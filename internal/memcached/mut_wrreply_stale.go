@@ -1,0 +1,8 @@
+//go:build mut_wrreply_stale
+
+package memcached
+
+func init() {
+	mutWrReplyStale = true
+	activeMutations = append(activeMutations, "mut_wrreply_stale")
+}

@@ -30,6 +30,12 @@ var (
 	// against the directory accept stale or torn reads (the bug class
 	// the casid re-read exists to catch).
 	mutOneSidedStale bool
+	// mutWrReplyStale: the server answers a window-advertising GET/MGET
+	// by RDMA-writing into the PREVIOUS request's window on the same
+	// endpoint (the notify AM is unchanged), so the client reads stale
+	// slot contents as the value — the stale-slot bug class the
+	// per-request window advertisement prevents.
+	mutWrReplyStale bool
 	// MutUDDupAck: the client transport keeps a retired reply slot live,
 	// so a late duplicate UD reply (from a retransmitted request whose
 	// original answer also arrived) is accepted twice instead of landing

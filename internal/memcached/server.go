@@ -52,6 +52,13 @@ type ServerConfig struct {
 	// UCREvents switches the UCR workers from CQ polling to interrupt-
 	// style events (ablation: §II-A1 — polling gives the lowest latency).
 	UCREvents bool
+	// WriteReplyEager is the write-based reply crossover (bytes, reply
+	// header included): an AMGetW/AMMGetW whose total reply is at or
+	// below it keeps the eager copy path even though a window was
+	// advertised — for small values the RDMA write's extra WQE beats
+	// nothing, the pack copy is already cheaper. Above it (and within
+	// the window) the server gather-writes the reply. Default 1 KB.
+	WriteReplyEager int
 	// UCRDrainBatch is how many completions a UCR worker may harvest per
 	// batched CQ drain (default 16): the first at the full poll cost,
 	// the rest — only those already visible — at the coalesced cost.
@@ -75,6 +82,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.CopyBytesPerSec <= 0 {
 		c.CopyBytesPerSec = 5e9
+	}
+	if c.WriteReplyEager <= 0 {
+		c.WriteReplyEager = 1 << 10
 	}
 	if c.CoalescedOpCost <= 0 {
 		// Amortize the fixed dispatch slice only (see the field doc):
@@ -175,8 +185,17 @@ type worker struct {
 	// (between the Set header handler and its completion handler).
 	pendingSets map[*ucr.Endpoint]*setPendQ
 	// pendingPins are pinned items whose reply transfer may still be in
-	// flight; swept once the origin counter fires.
+	// flight; swept once the origin counter fires. A nil item tracks a
+	// transfer with no pin to release (a staged mget write block) whose
+	// counter still needs freeing.
 	pendingPins []pendingPin
+	// staleWins is mut_wrreply_stale state: the previous request's reply
+	// window per endpoint. Nil in a normal build.
+	staleWins map[*ucr.Endpoint]ucr.WindowDesc
+	// wrTabs holds each armed connection's reply-arena geometry from its
+	// one-time AMWrArm slot-table exchange; slot-advertising requests
+	// resolve their write window here.
+	wrTabs map[*ucr.Endpoint]wrTable
 
 	// Per-worker arenas, reused across operations so the steady-state
 	// AM hot path allocates nothing. Ownership rules are strict (see
@@ -562,7 +581,9 @@ func (w *worker) sweepPins() {
 	keep := w.pendingPins[:0]
 	for _, p := range w.pendingPins {
 		if p.ctr.Value() > 0 {
-			w.srv.store.Unpin(p.item)
+			if p.item != nil {
+				w.srv.store.Unpin(p.item)
+			}
 			w.srv.ucrRT.FreeCounter(p.ctr)
 		} else {
 			keep = append(keep, p)

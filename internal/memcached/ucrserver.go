@@ -124,9 +124,21 @@ func (s *Server) registerAMHandlers(rt *ucr.Runtime) {
 		Header:     nilHeader,
 		Completion: s.amGetComplete,
 	})
+	rt.RegisterHandler(AMGetW, ucr.Handler{
+		Header:     nilHeader,
+		Completion: s.amGetWComplete,
+	})
 	rt.RegisterHandler(AMMGet, ucr.Handler{
 		Header:     nilHeader,
 		Completion: s.amMGetComplete,
+	})
+	rt.RegisterHandler(AMMGetW, ucr.Handler{
+		Header:     nilHeader,
+		Completion: s.amMGetWComplete,
+	})
+	rt.RegisterHandler(AMWrArm, ucr.Handler{
+		Header:     nilHeader,
+		Completion: s.amWrArmComplete,
 	})
 	rt.RegisterHandler(AMStore, ucr.Handler{
 		Header:     s.amStoreHeader,

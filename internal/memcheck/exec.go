@@ -46,6 +46,16 @@ type Config struct {
 	// recovering losses. Result.UDGets / UDRetransmits count the
 	// traffic for vacuity checks.
 	UD bool
+	// WriteReplies arms the write-based reply path (UCR transport
+	// only): clients advertise registered reply windows with each GET/
+	// MGET and servers answer crossover-sized hits by RDMA-writing the
+	// reply into the window, completing the op with a payload-free
+	// notify. The crossover is forced down to 64 bytes so the
+	// generator's ordinary values exercise the path; replies below it
+	// (and oversize-vs-window ones) still take the fallback ladder.
+	// Result.WriteReplies counts the server's posted writes — a sweep
+	// that never wrote validated nothing.
+	WriteReplies bool
 }
 
 // Observation is one client-side outcome, tagged with which client saw it.
@@ -65,6 +75,7 @@ type runOutcome struct {
 	UDGets        uint64
 	UDRetransmits uint64
 	BatchedDrains uint64
+	WriteReplies  uint64
 }
 
 // execute runs a script against a fresh deployment and collects the
@@ -95,6 +106,10 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 	}
 	if cfg.UD {
 		opts.UDGets = true
+	}
+	if cfg.WriteReplies {
+		opts.WriteReplies = true
+		opts.WriteReplyEager = 64
 	}
 	d := cluster.New(cluster.ClusterB(), opts)
 	defer d.Close()
@@ -172,6 +187,7 @@ func execute(sc Script, cfg Config) (*runOutcome, error) {
 		Records: recs, Obs: x.obs,
 		SRQDemux: d.Server.UCRSRQDemux(), UDGets: udGets, UDRetransmits: udRetx,
 		BatchedDrains: d.Server.UCRBatchedDrains(),
+		WriteReplies:  d.Server.UCRWriteReplies(),
 	}, nil
 }
 

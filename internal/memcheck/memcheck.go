@@ -29,6 +29,7 @@ type Result struct {
 	UDGets        uint64
 	UDRetransmits uint64
 	BatchedDrains uint64
+	WriteReplies  uint64
 }
 
 // Run generates the workload for cfg.Seed, executes it, and checks the
@@ -55,6 +56,7 @@ func RunScript(sc Script, cfg Config) *Result {
 		res.UDGets = out.UDGets
 		res.UDRetransmits = out.UDRetransmits
 		res.BatchedDrains = out.BatchedDrains
+		res.WriteReplies = out.WriteReplies
 	}
 	res.Violation = verdict(out, err, cfg)
 	if res.Violation == nil {
@@ -172,8 +174,8 @@ func formatReport(res *Result) string {
 	cfg := res.Config
 	var b strings.Builder
 	b.WriteString("memcheck: VIOLATION\n")
-	fmt.Fprintf(&b, "  seed=%d transport=%s faults=%v pressure=%v nobursts=%v onesided=%v srq=%v ud=%v clients=%d ops=%d\n",
-		cfg.Seed, cfg.Transport, cfg.Faults, cfg.Pressure, cfg.NoBursts, cfg.OneSided, cfg.SRQ, cfg.UD, res.Script.Clients, len(res.Script.Ops))
+	fmt.Fprintf(&b, "  seed=%d transport=%s faults=%v pressure=%v nobursts=%v onesided=%v srq=%v ud=%v wrreply=%v clients=%d ops=%d\n",
+		cfg.Seed, cfg.Transport, cfg.Faults, cfg.Pressure, cfg.NoBursts, cfg.OneSided, cfg.SRQ, cfg.UD, cfg.WriteReplies, res.Script.Clients, len(res.Script.Ops))
 	fmt.Fprintf(&b, "  violation: %s\n", res.Violation.Error())
 	replay := fmt.Sprintf("go run ./cmd/mccheck -transport %s -seed %d", cfg.Transport, cfg.Seed)
 	if cfg.Faults {
@@ -193,6 +195,9 @@ func formatReport(res *Result) string {
 	}
 	if cfg.UD {
 		replay += " -ud"
+	}
+	if cfg.WriteReplies {
+		replay += " -wrreply"
 	}
 	if cfg.Clients != 0 {
 		replay += fmt.Sprintf(" -clients %d", cfg.Clients)

@@ -33,6 +33,12 @@ type postUndo struct {
 
 func (u postUndo) run() {
 	delete(u.ep.ctx.pendingSends, u.id)
+	if st, ok := u.ep.ctx.pendingWrites[u.id]; ok {
+		// A write reply that never reached the wire still settles its
+		// counter: the caller's pin lifecycle keys off it.
+		delete(u.ep.ctx.pendingWrites, u.id)
+		st.originCtr.bumpIf(st.originCtrID)
+	}
 	u.ep.releaseSendBuf(u.buf)
 	u.ep.markFailed()
 }

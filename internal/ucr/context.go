@@ -23,6 +23,7 @@ type Context struct {
 	pendingRecvs    map[uint64][]byte // posted receive buffers by WR id
 	pendingReads    map[uint64]pendingRead
 	pendingOneSided map[uint64]oneSidedState
+	pendingWrites   map[uint64]writeReplyState
 	rndzOrigin      map[uint64]rndzOriginState
 	nextWR          uint64
 	nextSeq         uint64
@@ -45,6 +46,7 @@ type Context struct {
 	amsIn, amsOut, acksIn, acksOut, rdmaReads uint64
 	srqDemux                                  uint64
 	batchedDrains                             uint64
+	writeReplies                              uint64
 }
 
 // MutSRQMisroute, when set (mutation builds only — see the memcached
@@ -92,6 +94,7 @@ func (rt *Runtime) NewContext() *Context {
 		pendingRecvs:    make(map[uint64][]byte),
 		pendingReads:    make(map[uint64]pendingRead),
 		pendingOneSided: make(map[uint64]oneSidedState),
+		pendingWrites:   make(map[uint64]writeReplyState),
 		rndzOrigin:      make(map[uint64]rndzOriginState),
 	}
 }
@@ -327,7 +330,10 @@ func (c *Context) dispatch(clk *simnet.VClock, wc verbs.WC) {
 			c.onReadComplete(clk, wc)
 		}
 	case verbs.OpRDMAWrite:
-		c.onOneSidedComplete(wc) // one-sided Put
+		// A write is either a one-sided Put or a write-based reply.
+		if !c.onOneSidedComplete(wc) {
+			c.onWriteReplyComplete(wc)
+		}
 	case verbs.OpAtomicFetchAdd, verbs.OpAtomicCmpSwap:
 		c.onOneSidedComplete(wc)
 	}

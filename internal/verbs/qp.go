@@ -423,14 +423,16 @@ func (q *QP) postRDMARead(clk *simnet.VClock, wr SendWR, remote *QP) error {
 	return nil
 }
 
-// postRDMAWrite pushes wr.Local into remote memory.
+// postRDMAWrite pushes wr.Local (followed by the optional wr.Local2
+// gather segment) into remote memory. The two segments travel as one
+// wire transaction and land contiguously at RemoteAddr — a two-SGE WQE.
 func (q *QP) postRDMAWrite(clk *simnet.VClock, wr SendWR, remote *QP) error {
 	cfg := q.hca.cfg
 	dst, err := q.rdmaPeer(remote)
 	if err != nil {
 		return err
 	}
-	n := len(wr.Local)
+	n := len(wr.Local) + len(wr.Local2)
 
 	start := q.hca.sendEngine.Acquire(clk.Now(), cfg.SendProc)
 	depart := start + cfg.SendProc
@@ -452,7 +454,10 @@ func (q *QP) postRDMAWrite(clk *simnet.VClock, wr SendWR, remote *QP) error {
 		q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusRemoteError, QPN: q.qpn, Time: arrive})
 		return nil
 	}
-	guardedCopy(room, wr.Local, dst.hca.MemGuard(), q.hca.MemGuard())
+	guardedCopy(room[:len(wr.Local)], wr.Local, dst.hca.MemGuard(), q.hca.MemGuard())
+	if len(wr.Local2) > 0 {
+		guardedCopy(room[len(wr.Local):], wr.Local2, dst.hca.MemGuard(), q.hca.MemGuard())
+	}
 	dst.hca.recvEngine.Acquire(arrive, cfg.RDMAProc)
 	q.sendCQ.post(WC{ID: wr.ID, Op: OpRDMAWrite, Status: StatusSuccess, ByteLen: n, QPN: q.qpn, Time: depart})
 	return nil

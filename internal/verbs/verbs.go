@@ -239,6 +239,12 @@ type SendWR struct {
 	// Local is the local buffer: the payload for SEND/RDMA WRITE, the
 	// destination for RDMA READ. It must lie within LocalMR.
 	Local []byte
+	// Local2 is an optional second gather segment for RDMA WRITE: the
+	// wire carries Local followed by Local2 and the target stores them
+	// contiguously at RemoteAddr. This models a two-SGE WQE (header +
+	// payload gathered from separate registrations) without a scatter
+	// list type; other opcodes ignore it.
+	Local2 []byte
 	// LocalMR is the registration covering Local.
 	LocalMR *MR
 	// Inline requests inline emission of a small SEND payload.
