@@ -4,7 +4,8 @@
 
 .PHONY: tier1 tier2 test perfgate memcheck memcheck-lossy memcheck-onesided memcheck-onesided-lossy \
         memcheck-srq memcheck-srq-lossy memcheck-ud memcheck-ud-lossy \
-        memcheck-wrreply memcheck-wrreply-lossy mutations fuzz-smoke
+        memcheck-wrreply memcheck-wrreply-lossy memcheck-fleet memcheck-fleet-lossy \
+        mutations fuzz-smoke
 
 tier1:
 	go build ./...
@@ -57,11 +58,20 @@ memcheck-wrreply:
 memcheck-wrreply-lossy:
 	go run ./cmd/mccheck -transport UCR-IB -seeds $(MEMCHECK_SEEDS) -wrreply -faults
 
+# Fleet sweeps (both transports): replicated churn-capable cluster
+# checked against the per-server ownership model. The vacuity guards
+# fail a sweep where read repair never ran or churn moved no keyspace.
+memcheck-fleet:
+	go run ./cmd/mccheck -fleet -transport both -seeds $(MEMCHECK_SEEDS)
+
+memcheck-fleet-lossy:
+	go run ./cmd/mccheck -fleet -transport both -seeds $(MEMCHECK_SEEDS) -faults
+
 # Checker validation: every seeded store mutation must be caught.
 MUTATIONS = mut_append_nocas mut_get_skip_expiry mut_cas_ignore_id \
             mut_delete_noop mut_add_clobbers mut_proto_drop_flags \
             mut_onesided_stale mut_srq_misroute mut_ud_dup_ack \
-            mut_wrreply_stale
+            mut_wrreply_stale mut_ring_stale mut_replica_skip
 
 mutations:
 	@for m in $(MUTATIONS); do \
@@ -87,9 +97,12 @@ fuzz-smoke:
 # proves the event-loop server never dips below the old serving path);
 # BENCH_8 pins the batched loop's own throughput AND its allocs/op, the
 # baseline that catches a quiet return of per-op allocation; BENCH_9
-# pins the write-based reply path (gated by the wrreply quick sweep).
+# pins the write-based reply path (gated by the wrreply quick sweep);
+# BENCH_10 pins the fleet cell (the quick suite runs the N=10 fleet
+# sweep, so a regression in the replicated path fails here alongside
+# the BENCH_8/BENCH_9 single-server gates).
 perfgate:
 	go run ./cmd/mcbench -quick -json | \
-	go run ./cmd/mcgate -baseline BENCH_4.json -baseline BENCH_7.json -baseline BENCH_8.json
+	go run ./cmd/mcgate -baseline BENCH_4.json -baseline BENCH_7.json -baseline BENCH_8.json -baseline BENCH_10.json
 	go run ./cmd/mcbench -wrreply -quick -ops 300 -json | \
 	go run ./cmd/mcgate -baseline BENCH_9.json

@@ -39,6 +39,18 @@ type report struct {
 	Pipeline    []bench.PipelinePoint  `json:"pipeline,omitempty"`
 	OneSided    *bench.OneSidedReport  `json:"onesided,omitempty"`
 	ConnScale   *bench.ConnScaleReport `json:"connscale,omitempty"`
+	Fleet       []bench.FleetPoint     `json:"fleet,omitempty"`
+}
+
+// runFleet produces the fleet-scale sweep (N servers, 10N replicated
+// pipelined clients, one join per cell). -quick trims to the smoke cell.
+func runFleet(cfg bench.RunConfig, quick bool) []bench.FleetPoint {
+	pts, err := bench.FleetSweep(clusterProfile("B"), bench.FleetCounts(quick), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: fleet: %v\n", err)
+		os.Exit(1)
+	}
+	return pts
 }
 
 // runPipeline produces the window-depth sweep (single connection,
@@ -219,7 +231,8 @@ func main() {
 		wrreply   = flag.Bool("wrreply", false, "run the write-reply crossover sweep (pipelined GETs, write-based replies off vs on) instead of the figures")
 		onesided  = flag.Bool("onesided", false, "run the one-sided GET vs AM GET sweep instead of the figures")
 		connscale = flag.Bool("connscale", false, "run the connection-scalability sweep (rc/srq/ud/mux) instead of the figures")
-		quick     = flag.Bool("quick", false, "with -pipeline/-onesided/-connscale: trimmed axes for a CI smoke run; alone: the perf-gate suite")
+		fleet     = flag.Bool("fleet", false, "run the fleet-scale sweep (N servers, 10N replicated clients, churn) instead of the figures")
+		quick     = flag.Bool("quick", false, "with -pipeline/-onesided/-connscale/-fleet: trimmed axes for a CI smoke run; alone: the perf-gate suite")
 	)
 	var jf jsonFlag
 	flag.Var(&jf, "json", "also write the run as a JSON report: bare -json = stdout, -json=path = file")
@@ -232,10 +245,10 @@ func main() {
 		tables = os.Stderr
 	}
 
-	if *quick && !*pipeline && !*wrreply && !*onesided && !*connscale && !*ablations && !*faults && !*list && *figID == "" {
-		// Perf-gate suite: the trimmed pipeline and connection-scaling
-		// sweeps in one report (cmd/mcgate compares the cells it shares
-		// with each -baseline file).
+	if *quick && !*pipeline && !*wrreply && !*onesided && !*connscale && !*fleet && !*ablations && !*faults && !*list && *figID == "" {
+		// Perf-gate suite: the trimmed pipeline, connection-scaling, and
+		// fleet sweeps in one report (cmd/mcgate compares the cells it
+		// shares with each -baseline file).
 		rep := report{OpsPerPoint: *ops}
 		rep.Pipeline = runPipeline(bench.RunConfig{OpsPerPoint: *ops}, true)
 		fmt.Fprint(tables, bench.PipelineTable(rep.Pipeline))
@@ -246,6 +259,18 @@ func main() {
 		}
 		rep.ConnScale = csRep
 		fmt.Fprint(tables, bench.ConnScaleTable(csRep))
+		rep.Fleet = runFleet(bench.RunConfig{OpsPerPoint: *ops}, true)
+		fmt.Fprint(tables, bench.FleetTable(rep.Fleet))
+		if jf.set {
+			writeJSON(jf.path, rep)
+		}
+		return
+	}
+
+	if *fleet {
+		rep := report{OpsPerPoint: *ops}
+		rep.Fleet = runFleet(bench.RunConfig{OpsPerPoint: *ops}, *quick)
+		fmt.Fprint(tables, bench.FleetTable(rep.Fleet))
 		if jf.set {
 			writeJSON(jf.path, rep)
 		}

@@ -9,6 +9,15 @@
 //	go run ./cmd/mccheck -transport UCR-IB -seed 17 -faults   # replay one seed
 //	go run ./cmd/mccheck -transport IPoIB -script repro.txt   # replay a shrunk script
 //	go run -tags mut_delete_noop ./cmd/mccheck -seeds 10 -expect-violation
+//	go run ./cmd/mccheck -fleet -seeds 50                     # fleet-mode sweep
+//
+// -fleet switches to the fleet checker: a churn-capable replicated
+// cluster (joins, graceful leaves, crashes mid-traffic) checked against
+// a per-server ownership model instead of the single-server history
+// checker. -servers sets the initial member count; -faults, -seeds,
+// -seed, -clients, -ops, -script, and -expect-violation compose as
+// usual. Fleet sweeps have their own vacuity guards: across a sweep,
+// read repair must have run and churn must have moved keyspace.
 package main
 
 import (
@@ -33,6 +42,8 @@ func main() {
 		srq       = flag.Bool("srq", false, "serve from shared receive queues (UCR transport)")
 		ud        = flag.Bool("ud", false, "arm the hybrid UD small-get mode (UCR transport)")
 		wrreply   = flag.Bool("wrreply", false, "arm the write-based reply path (UCR transport)")
+		fleet     = flag.Bool("fleet", false, "fleet mode: replicated churn-capable cluster against the ownership model")
+		servers   = flag.Int("servers", 0, "fleet mode: initial member count (default 4)")
 		clients   = flag.Int("clients", 0, "client count (default 3)")
 		ops       = flag.Int("ops", 0, "ops per script (default 400)")
 		script    = flag.String("script", "", "replay a script file instead of generating from the seed")
@@ -57,6 +68,14 @@ func main() {
 	if muts := memcached.ActiveMutations(); muts != nil {
 		fmt.Printf("mccheck: store mutations active: %v\n", muts)
 		for _, m := range muts {
+			if m == "mut_ring_stale" || m == "mut_replica_skip" {
+				// Both fleet mutations only fire on the replicated routing
+				// path; arm fleet mode so -expect-violation can catch them.
+				if !*fleet {
+					*fleet = true
+					fmt.Printf("mccheck: -fleet implied by %s\n", m)
+				}
+			}
 			if m == "mut_onesided_stale" && !*onesided {
 				// The mutation only fires on the one-sided path; arm it so
 				// the -expect-violation build can catch it.
@@ -95,6 +114,11 @@ func main() {
 		for s := uint64(1); s <= uint64(*seeds); s++ {
 			seedList = append(seedList, s)
 		}
+	}
+
+	if *fleet {
+		runFleetMode(trs, seedList, *servers, *clients, *ops, *faults, *script, *expect, *verbose)
+		return
 	}
 
 	runs := 0
@@ -182,4 +206,68 @@ func main() {
 	}
 	fmt.Printf("mccheck: PASS %d runs (%s, seeds=%d, faults=%v, pressure=%v, srq=%v, ud=%v, wrreply=%v; srqDemux=%d udGets=%d udRetx=%d batchedDrains=%d writeReplies=%d)\n",
 		runs, *transport, len(seedList), *faults, *pressure, *srq, *ud, *wrreply, srqDemux, udGets, udRetx, batchedDrains, writeReplies)
+}
+
+// runFleetMode sweeps the fleet checker and applies its vacuity guards.
+func runFleetMode(trs []cluster.Transport, seedList []uint64, servers, clients, ops int, faults bool, script string, expect, verbose bool) {
+	runs := 0
+	var repairs uint64
+	var moved float64
+	var churn int
+	for _, tr := range trs {
+		for _, s := range seedList {
+			cfg := memcheck.FleetConfig{
+				Transport: tr, Seed: s, Faults: faults,
+				Servers: servers, Clients: clients, Ops: ops,
+			}
+			var res *memcheck.FleetResult
+			if script != "" {
+				text, err := os.ReadFile(script)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mccheck: %v\n", err)
+					os.Exit(2)
+				}
+				sc, err := memcheck.ParseScript(string(text))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mccheck: %s: %v\n", script, err)
+					os.Exit(2)
+				}
+				res = memcheck.RunFleetScript(sc, cfg)
+			} else {
+				res = memcheck.RunFleet(cfg)
+			}
+			runs++
+			repairs += res.Stats.Repairs
+			moved += res.Moved
+			churn += res.Joins + res.Leaves + res.Crashes
+			if res.Violation != nil {
+				fmt.Print(res.Report)
+				if expect {
+					fmt.Printf("mccheck: fleet violation found as expected (transport=%s seed=%d)\n", tr, s)
+					os.Exit(0)
+				}
+				os.Exit(1)
+			}
+			if verbose {
+				fmt.Printf("mccheck: PASS fleet transport=%s seed=%d churn=%d repairs=%d moved=%.4f\n",
+					tr, s, res.Joins+res.Leaves+res.Crashes, res.Stats.Repairs, res.Moved)
+			}
+		}
+	}
+	if expect {
+		fmt.Printf("mccheck: FAIL: expected a fleet violation, %d runs all passed\n", runs)
+		os.Exit(1)
+	}
+	// Vacuity guards: a fleet sweep where replication or churn never ran
+	// validated nothing.
+	if repairs == 0 {
+		fmt.Println("mccheck: FAIL: fleet sweep drove no read repair (vacuous sweep)")
+		os.Exit(1)
+	}
+	if moved <= 0 || churn == 0 {
+		fmt.Printf("mccheck: FAIL: fleet sweep churn moved no keyspace (churn=%d moved=%.4f, vacuous sweep)\n", churn, moved)
+		os.Exit(1)
+	}
+	fmt.Printf("mccheck: PASS %d fleet runs (seeds=%d, faults=%v; churn=%d moved=%.4f repairs=%d)\n",
+		runs, len(seedList), faults, churn, moved, repairs)
 }

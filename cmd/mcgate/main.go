@@ -22,6 +22,8 @@
 //   - connscale model fixed_bytes / slope_bytes_per_client and measured
 //     point server_recv_bytes: lower is better; fail when
 //     fresh > baseline x (1 + mem-tol).
+//   - fleet ktps (cells keyed by servers/clients): lower bound, as
+//     pipeline ktps.
 //
 // Figure panels are not compared here: the depth-1 golden tables are
 // guarded bit-exactly by TestFigureTablesBitIdentical, which is a far
@@ -76,11 +78,18 @@ type connScale struct {
 	TPS        map[string]float64 `json:"tps"`
 }
 
+type fleetCell struct {
+	Servers int      `json:"servers"`
+	Clients int      `json:"clients"`
+	KTPS    *float64 `json:"ktps"`
+}
+
 type report struct {
 	OpsPerPoint int            `json:"ops_per_point"`
 	Pipeline    []pipelineCell `json:"pipeline"`
 	Scaling     []scalingCell  `json:"scaling"`
 	ConnScale   *connScale     `json:"connscale"`
+	Fleet       []fleetCell    `json:"fleet"`
 }
 
 // baselineList collects repeated -baseline flags.
@@ -221,6 +230,22 @@ func (g *gate) compareConnScale(name string, fresh, base *connScale) {
 	}
 }
 
+func (g *gate) compareFleet(name string, fresh, base []fleetCell) {
+	type key struct{ s, c int }
+	idx := make(map[key]fleetCell, len(fresh))
+	for _, c := range fresh {
+		idx[key{c.Servers, c.Clients}] = c
+	}
+	for _, b := range base {
+		f, ok := idx[key{b.Servers, b.Clients}]
+		if !ok || f.KTPS == nil || b.KTPS == nil {
+			continue
+		}
+		g.lowerBound(fmt.Sprintf("%s fleet n=%d clients=%d ktps", name, b.Servers, b.Clients),
+			*f.KTPS, *b.KTPS)
+	}
+}
+
 func main() {
 	var (
 		baselines baselineList
@@ -274,6 +299,9 @@ func main() {
 		}
 		if base.ConnScale != nil && fresh.ConnScale != nil {
 			g.compareConnScale(path, fresh.ConnScale, base.ConnScale)
+		}
+		if len(base.Fleet) > 0 {
+			g.compareFleet(path, fresh.Fleet, base.Fleet)
 		}
 	}
 

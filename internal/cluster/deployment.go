@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/mcclient"
@@ -30,6 +31,12 @@ type Options struct {
 	// EagerThreshold overrides the UCR eager cut-over (default 8 KB,
 	// used by the ablation bench).
 	EagerThreshold int
+	// UCRCredits overrides the per-endpoint flow-control credit window
+	// on both sides (default from the profile, 64 on B). Each credit
+	// pins a real receive buffer of roughly EagerThreshold bytes, so
+	// fleet-scale deployments (1000 servers × lazy client fan-out) dial
+	// this down to keep tens of thousands of endpoints affordable.
+	UCRCredits int
 	// DispatchCost / OpCost override the server cost model (defaults
 	// below when zero).
 	DispatchCost simnet.Duration
@@ -161,6 +168,13 @@ type Deployment struct {
 	providers map[Transport]*sockstream.Provider
 	clients   int
 	trunks    []*trunk
+
+	// mu guards the server slices and client counter for runtime
+	// membership changes (Fleet.Join adds servers mid-traffic while
+	// other goroutines drive load; the historical slice sizing assumed
+	// the fixed Options.Servers count set at New time).
+	mu     sync.Mutex
+	ucrCfg ucr.Config
 }
 
 // trunk is one connection-concentrator queue-pair group
@@ -215,66 +229,85 @@ func New(p *Profile, opts Options) *Deployment {
 	seat(TOE10G, p.TOE10GModel, d.Eth10G)
 	seat(TCP1G, p.TCP1GModel, d.Eth1G)
 
-	ucrCfg := p.UCR
+	d.ucrCfg = p.UCR
 	if opts.EagerThreshold > 0 {
-		ucrCfg.EagerThreshold = opts.EagerThreshold
+		d.ucrCfg.EagerThreshold = opts.EagerThreshold
 	}
-	ucrCfg.UseSRQ = opts.UseSRQ
+	if opts.UCRCredits > 0 {
+		d.ucrCfg.Credits = opts.UCRCredits
+	}
+	d.ucrCfg.UseSRQ = opts.UseSRQ
 	if opts.SRQBuffers > 0 {
-		ucrCfg.SRQBuffers = opts.SRQBuffers
+		d.ucrCfg.SRQBuffers = opts.SRQBuffers
 	}
 	for i := 0; i < opts.Servers; i++ {
 		name := "server"
 		if opts.Servers > 1 {
 			name = fmt.Sprintf("server%d", i)
 		}
-		node := d.Network.AddNode(name)
-		d.IB.Attach(node)
-		if d.Eth10G != nil {
-			d.Eth10G.Attach(node)
-		}
-		if d.Eth1G != nil {
-			d.Eth1G.Attach(node)
-		}
-		srv := memcached.NewServer(memcached.ServerConfig{
-			Workers: opts.ServerWorkers,
-			Store: memcached.StoreConfig{
-				MemoryLimit: opts.MemoryLimit,
-				Stripes:     opts.Stripes,
-			},
-			DispatchCost:    opts.DispatchCost,
-			OpCost:          opts.OpCost,
-			CoalescedOpCost: opts.CoalescedOpCost,
-			WriteReplyEager: opts.WriteReplyEager,
-			// Lock-held copies run at the cluster's memory pack rate.
-			CopyBytesPerSec: p.UCR.PackBytesPerSec,
-			UCREvents:       opts.UCREvents,
-		})
-		for t, prov := range d.providers {
-			lis, err := prov.Listen(node, serviceFor(t))
-			if err != nil {
-				panic(fmt.Sprintf("cluster: listen %s: %v", t, err))
-			}
-			srv.ServeSockets(lis)
-		}
-		hca := verbs.NewHCA(node, d.IB, p.HCA)
-		rt := ucr.New(hca, d.CM, ucrCfg)
-		if err := srv.ServeUCR(rt, ucrServiceFor(i)); err != nil {
-			panic(fmt.Sprintf("cluster: serve ucr: %v", err))
-		}
-		if opts.OneSidedGet {
-			if err := srv.EnableOneSided(0, 0); err != nil {
-				panic(fmt.Sprintf("cluster: enable one-sided: %v", err))
-			}
-		}
-		d.ServerNodes = append(d.ServerNodes, node)
-		d.Servers = append(d.Servers, srv)
-		d.ServerHCAs = append(d.ServerHCAs, hca)
-		d.ServerRTs = append(d.ServerRTs, rt)
+		d.AddServer(name)
 	}
-	d.ServerNode, d.Server = d.ServerNodes[0], d.Servers[0]
-	d.ServerHCA, d.ServerRT = d.ServerHCAs[0], d.ServerRTs[0]
 	return d
+}
+
+// AddServer brings up one more memcached server at runtime — node,
+// fabric attachments, socket listeners, UCR frontend — and returns its
+// index. The fleet layer calls this for churn joins while traffic is
+// running; Network.AddNode and Fabric.Attach are lock-guarded, so the
+// new server becomes reachable without quiescing anything. Panics on
+// listener setup failure, like New.
+func (d *Deployment) AddServer(name string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := len(d.Servers)
+	node := d.Network.AddNode(name)
+	d.IB.Attach(node)
+	if d.Eth10G != nil {
+		d.Eth10G.Attach(node)
+	}
+	if d.Eth1G != nil {
+		d.Eth1G.Attach(node)
+	}
+	srv := memcached.NewServer(memcached.ServerConfig{
+		Workers: d.Opts.ServerWorkers,
+		Store: memcached.StoreConfig{
+			MemoryLimit: d.Opts.MemoryLimit,
+			Stripes:     d.Opts.Stripes,
+		},
+		DispatchCost:    d.Opts.DispatchCost,
+		OpCost:          d.Opts.OpCost,
+		CoalescedOpCost: d.Opts.CoalescedOpCost,
+		WriteReplyEager: d.Opts.WriteReplyEager,
+		// Lock-held copies run at the cluster's memory pack rate.
+		CopyBytesPerSec: d.Profile.UCR.PackBytesPerSec,
+		UCREvents:       d.Opts.UCREvents,
+	})
+	for t, prov := range d.providers {
+		lis, err := prov.Listen(node, serviceFor(t))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: listen %s: %v", t, err))
+		}
+		srv.ServeSockets(lis)
+	}
+	hca := verbs.NewHCA(node, d.IB, d.Profile.HCA)
+	rt := ucr.New(hca, d.CM, d.ucrCfg)
+	if err := srv.ServeUCR(rt, ucrServiceFor(i)); err != nil {
+		panic(fmt.Sprintf("cluster: serve ucr: %v", err))
+	}
+	if d.Opts.OneSidedGet {
+		if err := srv.EnableOneSided(0, 0); err != nil {
+			panic(fmt.Sprintf("cluster: enable one-sided: %v", err))
+		}
+	}
+	d.ServerNodes = append(d.ServerNodes, node)
+	d.Servers = append(d.Servers, srv)
+	d.ServerHCAs = append(d.ServerHCAs, hca)
+	d.ServerRTs = append(d.ServerRTs, rt)
+	if i == 0 {
+		d.ServerNode, d.Server = node, srv
+		d.ServerHCA, d.ServerRT = hca, rt
+	}
+	return i
 }
 
 // Client is one benchmark client: a node, a clock, and a connected
@@ -316,11 +349,7 @@ func (d *Deployment) newClient(t Transport, behaviors mcclient.Behaviors, unreli
 	var trs []mcclient.Transport
 	if t == UCRIB {
 		hca := verbs.NewHCA(node, d.IB, d.Profile.HCA)
-		ucrCfg := d.Profile.UCR
-		if d.Opts.EagerThreshold > 0 {
-			ucrCfg.EagerThreshold = d.Opts.EagerThreshold
-		}
-		c.rt = ucr.New(hca, d.CM, ucrCfg)
+		c.rt = ucr.New(hca, d.CM, d.clientUCRConfig())
 		c.ctx = c.rt.NewContext()
 		for i, srvNode := range d.ServerNodes {
 			var tr mcclient.Transport
@@ -396,11 +425,7 @@ func (d *Deployment) newMuxClient(behaviors mcclient.Behaviors) (*Client, error)
 	} else {
 		node := d.Network.AddNode(fmt.Sprintf("client%d", d.clients))
 		hca := verbs.NewHCA(node, d.IB, d.Profile.HCA)
-		ucrCfg := d.Profile.UCR
-		if d.Opts.EagerThreshold > 0 {
-			ucrCfg.EagerThreshold = d.Opts.EagerThreshold
-		}
-		rt := ucr.New(hca, d.CM, ucrCfg)
+		rt := ucr.New(hca, d.CM, d.clientUCRConfig())
 		ctx := rt.NewContext()
 		tr = &trunk{node: node, rt: rt, ctx: ctx}
 		for i, srvNode := range d.ServerNodes {
@@ -424,6 +449,20 @@ func (d *Deployment) newMuxClient(behaviors mcclient.Behaviors) (*Client, error)
 		return nil, err
 	}
 	return c, nil
+}
+
+// clientUCRConfig is the UCR config client endpoints dial with: the
+// profile's, with the deployment's eager-threshold and credit overrides
+// but without the server-side SRQ knobs.
+func (d *Deployment) clientUCRConfig() ucr.Config {
+	cfg := d.Profile.UCR
+	if d.Opts.EagerThreshold > 0 {
+		cfg.EagerThreshold = d.Opts.EagerThreshold
+	}
+	if d.Opts.UCRCredits > 0 {
+		cfg.Credits = d.Opts.UCRCredits
+	}
+	return cfg
 }
 
 // Trunks reports the concentrator QP-group count (0 unless

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/memcached"
+	"repro/internal/ring"
 	"repro/internal/simnet"
 )
 
@@ -125,7 +126,8 @@ type Client struct {
 	// operations, but Ejected/LiveServers/ServerFor are read from other
 	// goroutines in tests and monitoring, so the state is mutex-guarded.
 	failMu  sync.Mutex
-	ring    *ketamaRing // non-nil for DistKetama
+	ring    *ring.Ring     // non-nil for DistKetama; holds the LIVE pool
+	byName  map[string]int // server name → index, for ring owner lookups
 	dead    []bool
 	liveIdx []int
 }
@@ -137,11 +139,12 @@ func New(clk *simnet.VClock, behaviors Behaviors, servers []Transport) (*Client,
 	}
 	c := &Client{behaviors: behaviors, servers: servers, clk: clk}
 	if behaviors.Distribution == DistKetama {
-		names := make([]string, len(servers))
+		c.ring = ring.New(0)
+		c.byName = make(map[string]int, len(servers))
 		for i, s := range servers {
-			names[i] = s.Name()
+			c.ring.AddServer(s.Name())
+			c.byName[s.Name()] = i
 		}
-		c.ring = newKetamaRing(names)
 	}
 	return c, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/memcached"
+	"repro/internal/ring"
 	"repro/internal/simnet"
 )
 
@@ -259,14 +260,20 @@ func TestKetamaMinimalRemapping(t *testing.T) {
 	// server's keys. Compare mappings over 6 vs 5 servers where the
 	// first five keep their names.
 	names6 := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
-	r6 := newKetamaRing(names6)
-	r5 := newKetamaRing(names6[:5])
+	r6 := ring.New(0)
+	r5 := ring.New(0)
+	for i, n := range names6 {
+		r6.AddServer(n)
+		if i < 5 {
+			r5.AddServer(n)
+		}
+	}
 	moved, total := 0, 2000
 	for i := 0; i < total; i++ {
 		key := fmt.Sprintf("object-%d", i)
-		a := r6.lookup(key)
-		b := r5.lookup(key)
-		if a == 5 {
+		a := r6.Lookup(key)
+		b := r5.Lookup(key)
+		if a == "s5" {
 			continue // owned by the removed server: must move
 		}
 		if a != b {

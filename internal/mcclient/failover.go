@@ -12,7 +12,10 @@ import "repro/internal/simnet"
 // operating actor mutates it during ejection while monitoring
 // goroutines read it concurrently.
 
-// eject marks server idx dead and rebuilds the live mapping.
+// eject marks server idx dead and rebuilds the live mapping. The ketama
+// ring is updated incrementally — RemoveServer filters the dead
+// server's points out in one pass instead of re-hashing and re-sorting
+// the whole ring, so ejection cost no longer scales with pool size.
 func (c *Client) eject(idx int) {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
@@ -23,7 +26,15 @@ func (c *Client) eject(idx int) {
 		return
 	}
 	c.dead[idx] = true
-	c.rebuildLiveLocked()
+	c.liveIdx = c.liveIdx[:0]
+	for i := range c.servers {
+		if !c.dead[i] {
+			c.liveIdx = append(c.liveIdx, i)
+		}
+	}
+	if c.ring != nil {
+		c.ring.RemoveServer(c.servers[idx].Name())
+	}
 }
 
 // Ejected reports which servers have been ejected.
@@ -49,51 +60,28 @@ func (c *Client) LiveServers() int {
 	return len(c.liveIdx)
 }
 
-// rebuildLiveLocked recomputes the live index list and, for ketama, the
-// ring. Caller holds c.failMu.
-func (c *Client) rebuildLiveLocked() {
-	c.liveIdx = c.liveIdx[:0]
-	var names []string
-	for i, s := range c.servers {
-		if c.dead == nil || !c.dead[i] {
-			c.liveIdx = append(c.liveIdx, i)
-			names = append(names, s.Name())
-		}
-	}
-	if c.behaviors.Distribution == DistKetama {
-		if len(names) > 0 {
-			c.ring = newKetamaRing(names)
-		} else {
-			c.ring = nil
-		}
-	}
-}
-
 // liveServerFor maps a key to a live server index, or -1 if the pool is
-// empty.
+// empty. For ketama the ring already holds only live members (eject
+// removes them), so one lookup resolves the owner; modula hashes over
+// the live index list.
 func (c *Client) liveServerFor(key string) int {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
+	if c.ring != nil {
+		owner := c.ring.Lookup(key)
+		if owner == "" {
+			return -1
+		}
+		return c.byName[owner]
+	}
 	if c.liveIdx == nil {
 		// No ejections yet: the full pool is live.
-		return c.serverForFullLocked(key)
+		return int(keyHash(key) % uint64(len(c.servers)))
 	}
 	if len(c.liveIdx) == 0 {
 		return -1
 	}
-	if c.ring != nil {
-		return c.liveIdx[c.ring.lookup(key)]
-	}
 	return c.liveIdx[int(keyHash(key)%uint64(len(c.liveIdx)))]
-}
-
-// serverForFullLocked is the mapping over the full pool (no ejections).
-// Caller holds c.failMu.
-func (c *Client) serverForFullLocked(key string) int {
-	if c.ring != nil {
-		return c.ring.lookup(key)
-	}
-	return int(keyHash(key) % uint64(len(c.servers)))
 }
 
 // opWithRetry runs op against t, retrying ErrServerDown failures up to

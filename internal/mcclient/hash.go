@@ -1,12 +1,5 @@
 package mcclient
 
-import (
-	"crypto/md5"
-	"encoding/binary"
-	"fmt"
-	"sort"
-)
-
 // keyHash is the default (modula) key hash: FNV-1a, matching the
 // engine's string hashing.
 func keyHash(key string) uint64 {
@@ -22,50 +15,8 @@ func keyHash(key string) uint64 {
 	return h
 }
 
-// ketamaPointsPerServer matches libmemcached's ketama layout: 40 md5
-// digests per server, 4 points per digest.
-const ketamaPointsPerServer = 40
-
-// ketamaRing is a consistent-hash ring: server changes remap only the
-// keys owned by the affected arc, not the whole keyspace.
-type ketamaRing struct {
-	points  []uint32
-	servers []int // parallel to points: owning server index
-}
-
-func newKetamaRing(names []string) *ketamaRing {
-	r := &ketamaRing{}
-	for idx, name := range names {
-		for rep := 0; rep < ketamaPointsPerServer; rep++ {
-			sum := md5.Sum([]byte(fmt.Sprintf("%s-%d", name, rep)))
-			for part := 0; part < 4; part++ {
-				r.points = append(r.points, binary.LittleEndian.Uint32(sum[part*4:]))
-				r.servers = append(r.servers, idx)
-			}
-		}
-	}
-	// Sort points and servers together.
-	idx := make([]int, len(r.points))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return r.points[idx[a]] < r.points[idx[b]] })
-	pts := make([]uint32, len(idx))
-	srv := make([]int, len(idx))
-	for i, j := range idx {
-		pts[i], srv[i] = r.points[j], r.servers[j]
-	}
-	r.points, r.servers = pts, srv
-	return r
-}
-
-// lookup finds the first ring point at or after the key's hash.
-func (r *ketamaRing) lookup(key string) int {
-	sum := md5.Sum([]byte(key))
-	h := binary.LittleEndian.Uint32(sum[:])
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.servers[i]
-}
+// The ketama consistent-hash ring lives in internal/ring now, shared
+// with the fleet layer; the Client keeps a name-keyed ring over the live
+// pool and maps owners back to transport indexes (see client.go,
+// failover.go). The layout is unchanged — the same 40-digest md5 scheme
+// — so the promotion moved zero keys.

@@ -1,0 +1,13 @@
+//go:build mut_replica_skip
+
+package memcached
+
+import "repro/internal/ring"
+
+// Drops the replica leg of the fleet write-through (the switch lives in
+// the ring package so the fleet client can consult it without importing
+// this package).
+func init() {
+	ring.MutReplicaSkip = true
+	activeMutations = append(activeMutations, "mut_replica_skip")
+}

@@ -1,0 +1,13 @@
+//go:build mut_ring_stale
+
+package memcached
+
+import "repro/internal/ring"
+
+// The stale-routing switch lives in the ring package (fleet clients
+// consult it when they snapshot the ring); this package only registers
+// the tag — ring imports nothing of ours, so no cycle.
+func init() {
+	ring.MutRingStale = true
+	activeMutations = append(activeMutations, "mut_ring_stale")
+}

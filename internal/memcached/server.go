@@ -348,6 +348,18 @@ func (s *Server) ServeSockets(lis *sockstream.Listener) {
 			proto.SetCostModel(s.cfg.OpCost, s.cfg.CopyBytesPerSec)
 			cs := &connState{conn: conn, proto: proto, worker: w}
 			s.connMu.Lock()
+			if s.stopped.Load() {
+				// Close() has (or may have) already snapshotted s.conns;
+				// appending now would leak a live conn whose dialer blocks
+				// forever waiting for a reply. Close it here instead so the
+				// peer's pending reads wake with EOF. The stopped check must
+				// happen under connMu: Close() sets the flag before taking
+				// the lock, so a false reading guarantees our append lands
+				// in the snapshot.
+				s.connMu.Unlock()
+				conn.Close()
+				return
+			}
 			s.conns = append(s.conns, cs)
 			s.connMu.Unlock()
 			w.queue.Put(workEvent{kind: evSockAccept, cs: cs})

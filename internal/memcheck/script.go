@@ -37,6 +37,14 @@ const (
 	OpAdvance
 	OpFlush
 	OpBurst
+	// Fleet-mode churn ops (only GenerateFleet emits them; the
+	// single-server executor rejects them). Join brings up a fresh
+	// server; leave/crash target the Delta'th live member modulo the
+	// CURRENT live count, so dropping earlier churn ops during ddmin
+	// still yields a runnable script.
+	OpJoin
+	OpLeave
+	OpCrash
 )
 
 var opNames = map[OpCode]string{
@@ -44,6 +52,7 @@ var opNames = map[OpCode]string{
 	OpPrepend: "prepend", OpCas: "cas", OpGet: "get", OpMGet: "mget",
 	OpDelete: "del", OpIncr: "incr", OpDecr: "decr", OpAdvance: "adv",
 	OpFlush: "flush", OpBurst: "burst",
+	OpJoin: "join", OpLeave: "leave", OpCrash: "crash",
 }
 
 var opByName = func() map[string]OpCode {
@@ -278,6 +287,59 @@ func (g *generator) next() ScriptOp {
 	}
 }
 
+// FleetGenConfig tunes GenerateFleet.
+type FleetGenConfig struct {
+	Clients int
+	Ops     int
+}
+
+// FleetKeys is the fleet-mode key universe: wide enough to spread over
+// many owners so churn actually moves keys, narrow enough that every
+// key sees repeated traffic (read repair needs a get after a move).
+var FleetKeys = makeKeys("f", 32)
+
+// GenerateFleet builds a deterministic fleet workload from seed:
+// set/get/del over FleetKeys interleaved with join/leave/crash churn
+// and small clock advances. Only ops the fleet client supports appear;
+// everything stores with exptime 0 (ownership, not TTL, is under test).
+func GenerateFleet(seed uint64, cfg FleetGenConfig) Script {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 3
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 300
+	}
+	rng := simnet.NewRand(seed)
+	g := &generator{rng: rng, cfg: GenConfig{Clients: cfg.Clients}}
+	sc := Script{Seed: seed, Clients: cfg.Clients}
+	for i := 0; i < cfg.Ops; i++ {
+		c := rng.Intn(cfg.Clients)
+		w := rng.Intn(100)
+		var op ScriptOp
+		fkey := FleetKeys[rng.Intn(len(FleetKeys))]
+		switch {
+		case w < 30:
+			op = ScriptOp{Client: c, Code: OpSet, Key: fkey, Value: g.value(),
+				Flags: uint32(rng.Intn(256))}
+		case w < 72:
+			op = ScriptOp{Client: c, Code: OpGet, Key: fkey}
+		case w < 80:
+			op = ScriptOp{Client: c, Code: OpDelete, Key: fkey}
+		case w < 88:
+			op = ScriptOp{Client: c, Code: OpAdvance,
+				Advance: simnet.Duration(10+rng.Intn(2000)) * simnet.Microsecond}
+		case w < 92:
+			op = ScriptOp{Client: c, Code: OpJoin}
+		case w < 96:
+			op = ScriptOp{Client: c, Code: OpLeave, Delta: uint64(rng.Intn(1 << 16))}
+		default:
+			op = ScriptOp{Client: c, Code: OpCrash, Delta: uint64(rng.Intn(1 << 16))}
+		}
+		sc.Ops = append(sc.Ops, op)
+	}
+	return sc
+}
+
 func (g *generator) burst(c int) ScriptOp {
 	window := 4 + g.rng.Intn(13)
 	n := window + g.rng.Intn(window+1)
@@ -334,7 +396,9 @@ func formatOp(op ScriptOp, withClient bool) string {
 		fmt.Fprintf(&b, " %s %d", op.Key, op.Delta)
 	case OpAdvance:
 		fmt.Fprintf(&b, " %d", int64(op.Advance))
-	case OpFlush:
+	case OpFlush, OpJoin:
+	case OpLeave, OpCrash:
+		fmt.Fprintf(&b, " %d", op.Delta)
 	case OpBurst:
 		fmt.Fprintf(&b, " %d", op.Window)
 		for i, s := range op.Sub {
@@ -453,7 +517,13 @@ func parseOp(f []string) (ScriptOp, error) {
 			return bad()
 		}
 		op.Advance = simnet.Duration(d)
-	case OpFlush:
+	case OpFlush, OpJoin:
+	case OpLeave, OpCrash:
+		d, err := strconv.ParseUint(arg(1), 10, 64)
+		if err != nil {
+			return bad()
+		}
+		op.Delta = d
 	case OpBurst:
 		w, err := strconv.Atoi(arg(1))
 		if err != nil || len(f) < 3 {
